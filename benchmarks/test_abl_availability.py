@@ -1,0 +1,81 @@
+"""A5 — ablation: write availability level (§3.5, §4).
+
+Under a partition with writes attempted on both sides:
+
+- ``high`` — a new token is minted whenever needed: writes always succeed,
+  divergent versions likely;
+- ``medium`` (default) — only the majority side can generate; minority
+  writes fail, divergence rare;
+- ``low`` — never generate: the token side keeps writing, the other side
+  loses write access entirely, divergence impossible.
+"""
+
+from repro.core import FileParams, WriteOp
+from repro.core.params import Availability
+from repro.errors import WriteUnavailable
+from repro.testbed import build_core_cluster
+from benchmarks.conftest import run_once
+
+
+def _partition_writes(policy: Availability) -> dict:
+    cluster = build_core_cluster(3, seed=600)
+    s0, s2 = cluster.servers[0], cluster.servers[2]
+
+    async def run():
+        sid = await s0.create(
+            params=FileParams(min_replicas=3, write_availability=policy),
+            data=b"base")
+        cluster.partition({0, 1}, {2})
+        await cluster.kernel.sleep(800.0)
+        token_side = minority = True
+        try:
+            await s0.write(sid, WriteOp(kind="append", data=b"+t"))
+        except WriteUnavailable:
+            token_side = False
+        try:
+            await s2.write(sid, WriteOp(kind="append", data=b"+m"))
+        except WriteUnavailable:
+            minority = False
+        return sid, token_side, minority
+
+    sid, token_side, minority = cluster.run(run(), limit=2_000_000.0)
+    cluster.heal()
+    cluster.settle(3000.0)
+
+    async def versions():
+        return len(await s0.list_versions(sid))
+
+    n_versions = cluster.run(versions(), limit=2_000_000.0)
+    return {"token_side_writes": token_side, "minority_writes": minority,
+            "versions_after_heal": n_versions}
+
+
+def test_abl_write_availability(benchmark, report):
+    results = {}
+
+    def scenario():
+        for policy in (Availability.HIGH, Availability.MEDIUM, Availability.LOW):
+            results[policy.value] = _partition_writes(policy)
+        return results
+
+    run_once(benchmark, scenario)
+    report(
+        "A5: write availability under partition ({s0,s1} | {s2}), "
+        "writes on both sides",
+        ["policy", "token side writes", "minority writes",
+         "file versions after heal"],
+        [[p, v["token_side_writes"], v["minority_writes"],
+          v["versions_after_heal"]] for p, v in results.items()],
+    )
+    high, med, low = results["high"], results["medium"], results["low"]
+    # high: everyone writes, divergence results
+    assert high["minority_writes"] and high["versions_after_heal"] == 2
+    # medium: majority writes, minority refused, no divergence
+    assert med["token_side_writes"] and not med["minority_writes"]
+    assert med["versions_after_heal"] == 1
+    # low: same outcome here (token was on the majority side), and the
+    # guarantee is structural: no token can ever be generated
+    assert not low["minority_writes"] and low["versions_after_heal"] == 1
+    benchmark.extra_info.update(
+        {f"{p}_versions": v["versions_after_heal"] for p, v in results.items()}
+    )

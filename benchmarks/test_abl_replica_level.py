@@ -1,0 +1,74 @@
+"""A1 — ablation: minimum replica level (§4).
+
+Update cost rises with r; post-crash read availability rises with r.
+"Data replication reduces the probability that the file will become
+unavailable for reading, but file updates become more expensive" (§1).
+"""
+
+from repro.core import FileParams, WriteOp
+from repro.errors import ReplicaUnavailable
+from repro.testbed import build_core_cluster
+from benchmarks.conftest import run_once
+
+LEVELS = [1, 2, 3, 5]
+UPDATES = 10
+
+
+def _probe(r: int) -> dict:
+    cluster = build_core_cluster(6, seed=100 + r)
+    s0, s5 = cluster.servers[0], cluster.servers[5]
+
+    async def run():
+        sid = await s0.create(params=FileParams(min_replicas=r), data=b"v")
+        t0 = cluster.kernel.now
+        msgs0 = cluster.metrics.get("net.msgs") - \
+            cluster.metrics.get("net.msgs.tag.heartbeat")
+        for _ in range(UPDATES):
+            await s0.write(sid, WriteOp(kind="append", data=b"x" * 64))
+        write_ms = (cluster.kernel.now - t0) / UPDATES
+        msgs = (cluster.metrics.get("net.msgs")
+                - cluster.metrics.get("net.msgs.tag.heartbeat") - msgs0) / UPDATES
+        # crash r-1 of the replica holders? no: crash holders until < r left;
+        # availability question: crash the first min(r, 2) holders
+        located = await s0.locate_replicas(sid)
+        victims = [h for h in located["holders"]][:2]
+        for v in victims:
+            cluster.crash(int(v[1:]))
+        await cluster.kernel.sleep(800.0)
+        try:
+            result = await s5.read(sid)
+            readable = result.data.startswith(b"v")
+        except Exception:
+            readable = False
+        return {"write_ms": write_ms, "msgs": msgs, "readable": readable,
+                "replicas": len(located["holders"])}
+
+    return cluster.run(run(), limit=2_000_000.0)
+
+
+def test_abl_replica_level(benchmark, report):
+    results = {}
+
+    def scenario():
+        for r in LEVELS:
+            results[r] = _probe(r)
+        return results
+
+    run_once(benchmark, scenario)
+    report(
+        "A1: minimum replica level — update cost vs crash survival "
+        "(2 replica holders crashed)",
+        ["r", "replicas placed", "ms/update", "msgs/update",
+         "readable after 2 crashes"],
+        [[r, v["replicas"], f"{v['write_ms']:.1f}", f"{v['msgs']:.1f}",
+          v["readable"]] for r, v in results.items()],
+    )
+    # cost grows with r
+    assert results[5]["msgs"] > results[1]["msgs"]
+    # r=1 and r=2 lose the file when both its holders die; r>=3 survives
+    assert not results[1]["readable"]
+    assert results[3]["readable"]
+    assert results[5]["readable"]
+    benchmark.extra_info.update(
+        {f"r{r}_msgs": v["msgs"] for r, v in results.items()}
+    )

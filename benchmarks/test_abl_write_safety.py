@@ -1,0 +1,87 @@
+"""A2 — ablation: write safety level (§4).
+
+Write latency is monotone in s: "a value of 0 produces asynchronous unsafe
+writes; a value greater than or equal to the number of available replicas
+produces slow and fully synchronous writes."  And s=0 demonstrably loses
+the unsynced tail of a write stream on a crash.
+"""
+
+from repro.core import FileParams, WriteOp
+from repro.testbed import build_core_cluster
+from benchmarks.conftest import run_once
+
+SAFETY_LEVELS = [0, 1, 2, 3]
+UPDATES = 10
+
+
+def _latency(s: int) -> float:
+    cluster = build_core_cluster(4, seed=200 + s)
+    server = cluster.servers[0]
+
+    async def run():
+        sid = await server.create(
+            params=FileParams(min_replicas=3, write_safety=s,
+                              stability_notification=False),
+            data=b"")
+        t0 = cluster.kernel.now
+        for _ in range(UPDATES):
+            await server.write(sid, WriteOp(kind="append", data=b"x" * 64))
+        return (cluster.kernel.now - t0) / UPDATES
+
+    return cluster.run(run(), limit=2_000_000.0)
+
+
+def _crash_loss(s: int) -> int:
+    """How many of 5 appends survive the writer crashing immediately."""
+    cluster = build_core_cluster(2, seed=300 + s)
+    server = cluster.servers[0]
+
+    async def write_phase():
+        sid = await server.create(
+            params=FileParams(min_replicas=1, write_safety=s,
+                              stability_notification=False),
+            data=b"")
+        await cluster.disks[0].sync()
+        for _ in range(5):
+            await server.write(sid, WriteOp(kind="append", data=b"x"))
+        return sid
+
+    sid = cluster.run(write_phase(), limit=2_000_000.0)
+    cluster.crash(0)   # immediately: async buffers not yet flushed
+    cluster.settle(200.0)
+    cluster.run(cluster.recover(0))
+    cluster.settle(500.0)
+
+    async def read_back():
+        result = await cluster.servers[0].read(sid)
+        return len(result.data)
+
+    return cluster.run(read_back(), limit=2_000_000.0)
+
+
+def test_abl_write_safety(benchmark, report):
+    results = {}
+
+    def scenario():
+        for s in SAFETY_LEVELS:
+            results[s] = {"ms": _latency(s)}
+        results[0]["survived"] = _crash_loss(0)
+        results[1]["survived"] = _crash_loss(1)
+        return results
+
+    run_once(benchmark, scenario)
+    report(
+        "A2: write safety level — latency and crash durability",
+        ["write safety s", "ms/update (r=3)", "appends surviving crash (of 5)"],
+        [[s, f"{v['ms']:.1f}", v.get("survived", "-")]
+         for s, v in results.items()],
+    )
+    # latency monotone in s
+    lat = [results[s]["ms"] for s in SAFETY_LEVELS]
+    assert all(a <= b + 1e-9 for a, b in zip(lat, lat[1:])), lat
+    # s=0 loses the unsynced tail; s=1 loses nothing
+    assert results[0]["survived"] < 5
+    assert results[1]["survived"] == 5
+    benchmark.extra_info.update(
+        {f"s{s}_ms": v["ms"] for s, v in results.items()}
+    )

@@ -1,0 +1,107 @@
+"""F1 — Figure 1: the example NFS directory tree, baseline vs Deceit.
+
+The figure shows ``/usr``, ``/bin``, ``/usr/lib``, ``/usr/home/...``,
+``/bin/sh`` split across two NFS servers, glued together by client mount
+tables.  We build that exact tree on (a) the plain-NFS baseline with two
+servers and (b) a Deceit cell, verify both give clients the same namespace,
+and report lookup cost — Deceit needs no mount table because files are not
+statically bound to servers (§2.1).
+"""
+
+from repro.agent import AgentConfig
+from repro.baseline import BaselineClient, BaselineNfsServer
+from repro.metrics import Metrics
+from repro.net import Network, UniformLatency
+from repro.sim import Kernel
+from repro.testbed import build_cluster
+from benchmarks.conftest import run_once
+
+TREE_DIRS = ["/usr", "/bin", "/usr/lib", "/usr/home", "/usr/home/siegel"]
+TREE_FILES = ["/bin/sh", "/usr/lib/libc.a", "/usr/home/siegel/thesis.tex"]
+PROBE_PATHS = TREE_FILES + ["/usr/home/siegel"]
+
+
+def _build_baseline():
+    kernel = Kernel()
+    network = Network(kernel, latency=UniformLatency(1.0, 3.0), seed=11,
+                      metrics=Metrics())
+    BaselineNfsServer(network, "nfs-a")   # exports / and /bin
+    BaselineNfsServer(network, "nfs-b")   # exports /usr (Figure 1's split)
+    client = BaselineClient(network, "client",
+                            mounts={"/": "nfs-a", "/usr": "nfs-b"})
+    return kernel, network, client
+
+
+async def _populate(fs) -> None:
+    for d in TREE_DIRS:
+        parent, _s, name = d.rpartition("/")
+        await fs.mkdir(parent or "/", name)
+    for f in TREE_FILES:
+        parent, _s, name = f.rpartition("/")
+        await fs.create(parent or "/", name)
+        await fs.write_file(f, f"contents of {f}".encode())
+
+
+def test_fig1_namespace(benchmark, report):
+    results = {}
+
+    def scenario():
+        # --- baseline: two servers + client mount table -------------------
+        kernel, network, client = _build_baseline()
+
+        async def run_baseline():
+            await _populate(client)
+            before = network.metrics.get("net.msgs")
+            t0 = kernel.now
+            for path in PROBE_PATHS:
+                await client.getattr(path)
+            return {
+                "lookup_ms": (kernel.now - t0) / len(PROBE_PATHS),
+                "msgs": (network.metrics.get("net.msgs") - before)
+                / len(PROBE_PATHS),
+                "namespace": sorted(e["name"] for e in
+                                    await client.readdir("/usr")),
+            }
+
+        results["baseline"] = kernel.run_until_complete(run_baseline(),
+                                                        limit=300_000.0)
+
+        # --- Deceit: same tree, no mount table, any server serves all -----
+        cluster = build_cluster(n_servers=2, n_agents=1,
+                                agent_config=AgentConfig(cache=False))
+        agent = cluster.agents[0]
+
+        async def run_deceit():
+            await agent.mount()
+            await _populate(agent)
+            before = cluster.metrics.get("net.msgs")
+            t0 = cluster.kernel.now
+            for path in PROBE_PATHS:
+                await agent.getattr(path)
+            return {
+                "lookup_ms": (cluster.kernel.now - t0) / len(PROBE_PATHS),
+                "msgs": (cluster.metrics.get("net.msgs") - before)
+                / len(PROBE_PATHS),
+                "namespace": sorted(e["name"] for e in
+                                    await agent.readdir("/usr")),
+            }
+
+        results["deceit"] = cluster.run(run_deceit())
+        return results
+
+    run_once(benchmark, scenario)
+    base, dec = results["baseline"], results["deceit"]
+    # identical client-visible namespace
+    assert base["namespace"] == dec["namespace"] == ["home", "lib"]
+    report(
+        "F1: Figure-1 tree, per-getattr cost (path walk, cold caches)",
+        ["system", "virtual ms/op", "net msgs/op", "mount table"],
+        [["plain NFS (2 servers)", f"{base['lookup_ms']:.2f}",
+          f"{base['msgs']:.1f}", "per-client, static"],
+         ["Deceit (2 servers)", f"{dec['lookup_ms']:.2f}",
+          f"{dec['msgs']:.1f}", "none (location-free)"]],
+    )
+    benchmark.extra_info.update({
+        "baseline_ms_per_op": base["lookup_ms"],
+        "deceit_ms_per_op": dec["lookup_ms"],
+    })

@@ -1,0 +1,72 @@
+"""F3 — Figure 3: Deceit cells over a wide-area network.
+
+Two cells (à la Cornell and MIT), each an independent Deceit instantiation.
+Verified properties: replication never crosses the cell boundary, and
+cross-cell access goes through ``/priv/global/<machine>`` paying WAN
+latency with the local cell acting as a client (§2.2).
+"""
+
+from repro.testbed import build_cells
+from benchmarks.conftest import run_once
+
+
+def test_fig3_cells(benchmark, report):
+    results = {}
+
+    def scenario():
+        cells = build_cells({"cornell": 3, "mit": 3}, n_agents_per_cell=1,
+                            seed=31)
+        cornell, mit = cells["cornell"], cells["mit"]
+        agent = cornell.agents[0]
+        remote_agent = mit.agents[0]
+
+        async def run():
+            await remote_agent.mount()
+            await remote_agent.create("/", "dataset")
+            await remote_agent.write_file("/dataset", b"mit data" * 64)
+            await remote_agent.set_params("/dataset", min_replicas=3)
+            remote_located = await remote_agent.locate("/dataset")
+
+            await agent.mount()
+            await agent.create("/", "local")
+            await agent.write_file("/local", b"cornell data" * 64)
+            await agent.set_params("/local", min_replicas=3)
+            local_located = await agent.locate("/local")
+
+            # intra-cell read
+            t0 = cornell.kernel.now
+            await agent.read_file("/local")
+            intra_ms = cornell.kernel.now - t0
+            # inter-cell read through the global root
+            t0 = cornell.kernel.now
+            data = await agent.read_file("/priv/global/mit.s0/dataset")
+            inter_ms = cornell.kernel.now - t0
+            assert data == b"mit data" * 64
+            return {
+                "local_holders": local_located["holders"],
+                "remote_holders": remote_located["holders"],
+                "intra_ms": intra_ms,
+                "inter_ms": inter_ms,
+                "proxied": cornell.metrics.get("nfs.proxied"),
+            }
+
+        results.update(cornell.run(run(), limit=600_000.0))
+        return results
+
+    run_once(benchmark, scenario)
+    # replication is contained within each cell (§2.2)
+    assert all(h.startswith("cornell.") for h in results["local_holders"])
+    assert all(h.startswith("mit.") for h in results["remote_holders"])
+    # WAN access is more expensive but works
+    assert results["inter_ms"] > results["intra_ms"]
+    report(
+        "F3: cells — replica containment and access cost",
+        ["access", "virtual ms", "replicas stay in cell"],
+        [["intra-cell read (cornell)", f"{results['intra_ms']:.1f}",
+          "yes: " + ",".join(results["local_holders"])],
+         ["inter-cell read via /priv/global/mit.s0",
+          f"{results['inter_ms']:.1f}",
+          "yes: " + ",".join(results["remote_holders"])]],
+    )
+    benchmark.extra_info.update({"intra_ms": results["intra_ms"],
+                                 "inter_ms": results["inter_ms"]})

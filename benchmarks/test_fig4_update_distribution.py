@@ -1,0 +1,73 @@
+"""F4 — Figure 4: update distribution to the file group.
+
+The scalability claim behind file groups (§3.2): "only the size of f's file
+group affects the speed of updates to f."  We sweep the replica level r and
+the total server count N independently and measure messages per update —
+cost must grow with r and stay flat in N.
+"""
+
+from repro.core import FileParams, WriteOp
+from repro.testbed import build_core_cluster
+from benchmarks.conftest import run_once
+
+UPDATES = 15
+
+
+def _msgs_per_update(n_servers: int, r: int) -> float:
+    cluster = build_core_cluster(n_servers, seed=41)
+    server = cluster.servers[0]
+
+    async def run():
+        sid = await server.create(
+            params=FileParams(min_replicas=r, write_safety=1,
+                              stability_notification=False),
+            data=b"",
+        )
+        # exclude heartbeats: they are constant background, not update cost
+        def payload_msgs():
+            m = cluster.metrics
+            return m.get("net.msgs") - m.get("net.msgs.tag.heartbeat")
+
+        before = payload_msgs()
+        for _ in range(UPDATES):
+            await server.write(sid, WriteOp(kind="append", data=b"x" * 64))
+        return (payload_msgs() - before) / UPDATES
+
+    return cluster.run(run(), limit=600_000.0)
+
+
+def test_fig4_update_distribution(benchmark, report):
+    results = {}
+
+    def scenario():
+        # sweep file-group size r at fixed N
+        for r in (1, 2, 3, 5):
+            results[("r", r)] = _msgs_per_update(n_servers=6, r=r)
+        # sweep total servers N at fixed r
+        for n in (3, 6, 10, 14):
+            results[("n", n)] = _msgs_per_update(n_servers=n, r=3)
+        return results
+
+    run_once(benchmark, scenario)
+
+    r_series = [(r, results[("r", r)]) for r in (1, 2, 3, 5)]
+    n_series = [(n, results[("n", n)]) for n in (3, 6, 10, 14)]
+    report(
+        "F4a: messages per update vs file-group size r (N=6 servers)",
+        ["min replica level r", "net msgs/update"],
+        [[r, f"{m:.1f}"] for r, m in r_series],
+    )
+    report(
+        "F4b: messages per update vs total servers N (r=3)",
+        ["total servers N", "net msgs/update"],
+        [[n, f"{m:.1f}"] for n, m in n_series],
+    )
+    # shape: grows with r ...
+    assert results[("r", 5)] > results[("r", 1)]
+    # ... and flat in N: 14 servers cost within 25% of 3 servers
+    lo = min(m for _n, m in n_series)
+    hi = max(m for _n, m in n_series)
+    assert hi <= lo * 1.25 + 1.0, f"update cost not flat in N: {n_series}"
+    benchmark.extra_info.update(
+        {f"msgs_r{r}": m for (kind, r), m in results.items() if kind == "r"}
+    )

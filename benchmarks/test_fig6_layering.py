@@ -1,0 +1,99 @@
+"""F6 — Figure 6: the two-layer architecture (NFS envelope / segment server).
+
+Per NFS op type, how much work lands in each layer: envelope-level segment
+calls and segment-level network messages.  The envelope is pure translation
+— "totally independent of the underlying implementation of the segment
+service" (§5.2) — so ops differ only in how many segment operations they
+expand to.
+"""
+
+from repro.agent import AgentConfig
+from repro.testbed import build_cluster
+from benchmarks.conftest import run_once
+
+OPS = ["getattr", "lookup", "read", "write", "create", "readdir", "remove"]
+
+
+def test_fig6_layering(benchmark, report):
+    rows = []
+
+    def scenario():
+        cluster = build_cluster(n_servers=3, n_agents=1,
+                                agent_config=AgentConfig(cache=False))
+        agent = cluster.agents[0]
+        m = cluster.metrics
+
+        async def run():
+            await agent.mount()
+            await agent.create("/", "probe")
+            await agent.write_file("/probe", b"data" * 64)
+            fh = await agent.lookup_path("/probe")
+            root = agent.root_fh
+
+            async def one(op):
+                if op == "getattr":
+                    await agent._nfs("getattr", {"fh": fh.encode()})
+                elif op == "lookup":
+                    await agent._nfs("lookup", {"fh": root.encode(),
+                                                "name": "probe"})
+                elif op == "read":
+                    await agent._nfs("read", {"fh": fh.encode()})
+                elif op == "write":
+                    await agent._nfs("write", {"fh": fh.encode(), "offset": 0,
+                                               "data": b"w" * 64})
+                elif op == "create":
+                    await agent._nfs("create", {"fh": root.encode(),
+                                                "name": f"new-{m.get('x')}",
+                                                "sattr": {}})
+                    m.incr("x")
+                elif op == "readdir":
+                    await agent._nfs("readdir", {"fh": root.encode()})
+                elif op == "remove":
+                    name = f"victim-{m.get('x')}"
+                    await agent._nfs("create", {"fh": root.encode(),
+                                                "name": name, "sattr": {}})
+                    m.incr("x")
+                    return await agent._nfs("remove", {"fh": root.encode(),
+                                                       "name": name})
+
+            for op in OPS:
+                if op == "remove":
+                    # setup (create) happens inside; snapshot around remove only
+                    name = "victim"
+                    await agent._nfs("create", {"fh": root.encode(),
+                                                "name": name, "sattr": {}})
+                    snap = m.snapshot()
+                    t0 = cluster.kernel.now
+                    await agent._nfs("remove", {"fh": root.encode(),
+                                                "name": name})
+                else:
+                    snap = m.snapshot()
+                    t0 = cluster.kernel.now
+                    await one(op)
+                delta = m.delta(snap)
+                seg_calls = sum(v for k, v in delta.items()
+                                if k.startswith("deceit.")
+                                and k.split(".")[1] in
+                                ("reads", "stats", "updates", "deletes",
+                                 "segments_created", "setparams"))
+                msgs = delta.get("net.msgs", 0) - delta.get(
+                    "net.msgs.tag.heartbeat", 0)
+                rows.append([op, seg_calls, msgs,
+                             f"{cluster.kernel.now - t0:.1f}"])
+
+        cluster.run(run(), limit=600_000.0)
+        return rows
+
+    run_once(benchmark, scenario)
+    report(
+        "F6: per-op layering — envelope work vs segment-server traffic",
+        ["NFS op", "segment ops", "net msgs", "virtual ms"],
+        rows,
+    )
+    by_op = {r[0]: r for r in rows}
+    # getattr is attribute-only: no more segment work than a read
+    assert by_op["getattr"][1] <= by_op["read"][1]
+    # structural ops (create/remove) expand to several segment calls
+    assert by_op["create"][1] > by_op["getattr"][1]
+    assert by_op["remove"][1] >= by_op["create"][1]
+    benchmark.extra_info.update({r[0]: r[1] for r in rows})

@@ -1,0 +1,73 @@
+"""S62 — §6.2: data collection and dispersion (bulk movement).
+
+A large capture is written at a collection station, blast-transferred to
+the analysis machine (explicit replica create + source delete), and remains
+readable throughout.  Reported: transfer bandwidth cost by file size, and
+that availability never drops during the move.
+"""
+
+from repro.testbed import build_cluster
+from benchmarks.conftest import run_once
+
+SIZES_KB = [64, 512, 2048]
+
+
+def _move_file(size_kb: int) -> dict:
+    cluster = build_cluster(n_servers=4, n_agents=1, seed=62)
+    agent = cluster.agents[0]
+    payload = b"T" * (size_kb * 1024)
+
+    async def run():
+        await agent.mount()
+        await agent.create("/", "capture")
+        await agent.set_params("/capture", file_migration=False)
+        await agent.write_file("/capture", payload)
+        # concurrent reader checks availability during the whole move
+        failures = []
+
+        async def reader():
+            for _ in range(10):
+                data = await agent.read_file("/capture")
+                if data != payload:
+                    failures.append(1)
+                await cluster.kernel.sleep(20.0)
+
+        probe = cluster.kernel.spawn(reader())
+        t0 = cluster.kernel.now
+        assert await agent.create_replica("/capture", "s3")
+        assert await agent.delete_replica("/capture", "s0")
+        move_ms = cluster.kernel.now - t0
+        await probe
+        located = await agent.locate("/capture")
+        return {"move_ms": move_ms, "holders": located["holders"],
+                "reader_failures": len(failures),
+                "bytes": cluster.metrics.get("deceit.replica_transfer_bytes")}
+
+    return cluster.run(run(), limit=10_000_000.0)
+
+
+def test_s62_data_dispersion(benchmark, report):
+    results = {}
+
+    def scenario():
+        for size in SIZES_KB:
+            results[size] = _move_file(size)
+        return results
+
+    run_once(benchmark, scenario)
+    rows = [[f"{size} KB", f"{r['move_ms']:.0f}",
+             ",".join(r["holders"]), r["reader_failures"]]
+            for size, r in results.items()]
+    report(
+        "S62: blast transfer of a capture file to its analysis machine",
+        ["file size", "move ms (virtual)", "final holders", "reader failures"],
+        rows,
+    )
+    for size, r in results.items():
+        assert r["holders"] == ["s3"]       # moved, source dropped
+        assert r["reader_failures"] == 0    # never unavailable during move
+    # transfer time scales with file size (bulk bytes cost on the wire)
+    assert results[2048]["move_ms"] > results[64]["move_ms"]
+    benchmark.extra_info.update(
+        {f"move_ms_{size}kb": r["move_ms"] for size, r in results.items()}
+    )

@@ -1,0 +1,105 @@
+"""V1 — §3.5: the version control system.
+
+"File names can be qualified with version numbers using a special syntax
+... By using this form of file name, specific versions can be created,
+modified, and deleted."  Unlike VMS, Deceit mints versions only during
+partitions or on explicit request.  We exercise the full lifecycle through
+the NFS envelope: divergence, qualified access, independent modification,
+version listing, deletion — and measure the overhead of qualified lookups.
+"""
+
+from repro.agent import AgentConfig
+from repro.core import WriteOp
+from repro.testbed import build_cluster
+from benchmarks.conftest import run_once
+
+
+def test_v1_version_control(benchmark, report):
+    results = {}
+
+    def scenario():
+        cluster = build_cluster(n_servers=3, n_agents=1,
+                                agent_config=AgentConfig(cache=False))
+        agent = cluster.agents[0]
+
+        async def setup():
+            await agent.mount()
+            fh = await agent.create("/", "paper.tex")
+            await agent.write_file("/paper.tex", b"\\draft{1}")
+            await agent.set_params("/paper.tex", min_replicas=3,
+                                   write_availability="high")
+            return fh
+
+        fh = cluster.run(setup())
+        # partition-created divergence (the only implicit version source)
+        cluster.partition({0, 1}, {2})
+        cluster.settle(800.0)
+
+        async def diverge():
+            await agent.write_file("/paper.tex", b"\\draft{2-main}")
+            await cluster.servers[2].segments.write(
+                fh.sid, WriteOp(kind="setdata", data=b"\\draft{2-alt}",
+                                meta={"length": 13}))
+
+        cluster.run(diverge())
+        cluster.heal()
+        cluster.settle(3000.0)
+
+        async def lifecycle():
+            versions = await agent.list_versions("/paper.tex")
+            majors = sorted(versions)
+            # qualified reads: "paper.tex;<major>"
+            contents = {}
+            t0 = cluster.kernel.now
+            for major in majors:
+                fh_v, _attrs = await agent._nfs(
+                    "lookup", {"fh": agent.root_fh.encode(),
+                               "name": f"paper.tex;{major}"}
+                ), None
+                contents[major] = await agent.read_file(fh.qualified(major))
+            qualified_ms = (cluster.kernel.now - t0) / (2 * len(majors))
+            # unqualified name resolves to the most recent version
+            t0 = cluster.kernel.now
+            latest = await agent.read_file("/paper.tex")
+            unqualified_ms = cluster.kernel.now - t0
+            # modify one version independently of the other
+            old, new = majors[0], majors[1]
+            await cluster.servers[0].segments.write(
+                fh.sid, WriteOp(kind="append", data=b"%edit-old"),
+                version=old)
+            modified = await agent.read_file(fh.qualified(old))
+            untouched = await agent.read_file(fh.qualified(new))
+            # delete the obsolete version explicitly
+            dropped = await agent.reconcile("/paper.tex", keep=new)
+            await cluster.kernel.sleep(300.0)
+            remaining = await agent.list_versions("/paper.tex")
+            return {
+                "versions": len(versions),
+                "contents": contents,
+                "qualified_ms": qualified_ms,
+                "unqualified_ms": unqualified_ms,
+                "independent_edit": modified != untouched,
+                "dropped": dropped,
+                "remaining": len(remaining),
+            }
+
+        results.update(cluster.run(lifecycle()))
+        return results
+
+    run_once(benchmark, scenario)
+    report(
+        "V1: version control via name;major syntax",
+        ["property", "value"],
+        [["versions after partition", results["versions"]],
+         ["qualified lookup+read (ms)", f"{results['qualified_ms']:.1f}"],
+         ["unqualified read (ms)", f"{results['unqualified_ms']:.1f}"],
+         ["versions editable independently", results["independent_edit"]],
+         ["versions deleted by reconcile", len(results["dropped"])],
+         ["versions remaining", results["remaining"]]],
+    )
+    assert results["versions"] == 2
+    assert results["independent_edit"]
+    assert results["remaining"] == 1
+    assert sorted(results["contents"].values()) == [b"\\draft{2-alt}",
+                                                    b"\\draft{2-main}"]
+    benchmark.extra_info.update({"versions": results["versions"]})

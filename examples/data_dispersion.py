@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario §6.2: bulk data collection and dispersion (the NASA case).
+
+"For a very large data file, the user can turn off automatic localization
+... the minimum replica level should be 1 until the file has reached its
+final destination, and then it may be set to 2 to provide a single backup.
+Data files can be quickly copied from one server to another using the blast
+file transfer mechanism by manually forcing the creation of a replica on
+the target server and then deleting the replica on the source server.  At
+any time ... the file data is available for reading and writing via any
+server."
+
+Run:  python examples/data_dispersion.py
+"""
+
+from repro.testbed import build_cluster
+
+
+MEGABYTE = 1024 * 1024
+
+
+def main() -> None:
+    cluster = build_cluster(n_servers=4, n_agents=1)
+    agent = cluster.agents[0]
+    telemetry = bytes(bytearray(range(256))) * (2 * MEGABYTE // 256)  # 2 MB
+
+    async def scenario():
+        await agent.mount()
+        # collection station writes the big capture; migration stays OFF so
+        # readers don't accidentally spray 2 MB replicas around the cell
+        await agent.create("/", "telemetry.dat")
+        await agent.set_params("/telemetry.dat", file_migration=False,
+                               write_availability="medium")
+        t0 = cluster.kernel.now
+        await agent.write_file("/telemetry.dat", telemetry)
+        print(f"captured {len(telemetry)//1024} KB on "
+              f"{(await agent.locate('/telemetry.dat'))['holders']} "
+              f"in {cluster.kernel.now - t0:.0f} ms (virtual)")
+
+        # move it to the analysis machine with the blast transfer: force a
+        # replica on the target, then drop the source copy
+        t0 = cluster.kernel.now
+        assert await agent.create_replica("/telemetry.dat", "s3")
+        moved_ms = cluster.kernel.now - t0
+        located = await agent.locate("/telemetry.dat")
+        print(f"blast transfer to s3 took {moved_ms:.0f} ms (virtual); "
+              f"replicas: {located['holders']}")
+
+        # the file stays readable throughout — read while deleting source
+        reader = cluster.kernel.spawn(agent.read_file("/telemetry.dat"))
+        assert await agent.delete_replica("/telemetry.dat", "s0")
+        data = await reader
+        assert data == telemetry
+        located = await agent.locate("/telemetry.dat")
+        print(f"source replica dropped; file now lives on {located['holders']}")
+
+        # at its destination, add a single backup (replica level 2, §6.2)
+        await agent.set_params("/telemetry.dat", min_replicas=2)
+        located = await agent.locate("/telemetry.dat")
+        print(f"backup added: {located['holders']}")
+        return located
+
+    located = cluster.run(scenario(), limit=5_000_000.0)
+    assert "s3" in located["holders"] and len(located["holders"]) == 2
+    bytes_moved = cluster.metrics.get("deceit.replica_transfer_bytes")
+    print(f"\ntotal blast-transfer bytes: {bytes_moved // 1024} KB")
+    print("scenario OK — data dispersed without ever going offline")
+
+
+if __name__ == "__main__":
+    main()

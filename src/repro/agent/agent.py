@@ -1,0 +1,357 @@
+"""The Deceit client agent: user-program-facing file API over NFS RPCs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.errors import NfsError, NfsStat, RpcTimeout, Unreachable, nfs_error
+from repro.net import Network, Node
+from repro.net.network import RpcRemoteError
+from repro.nfs.attrs import FileAttrs
+from repro.nfs.fhandle import FileHandle
+from repro.nfs.names import split_path
+
+RPC_TIMEOUT_MS = 600.0
+
+
+class Placement(Enum):
+    """Where the agent runs (Figure 8), fixing the user↔agent hop cost.
+
+    Values are the per-call latency in virtual ms: a kernel procedure call
+    is cheap, a user loadable library cheaper still (no kernel crossing),
+    and an auxiliary user process pays local IPC both ways.
+    """
+
+    KERNEL = 0.05
+    USER_LIBRARY = 0.02
+    AUX_PROCESS = 0.40
+
+    @property
+    def hop_ms(self) -> float:
+        """Latency of one user-program → agent crossing."""
+        return self.value
+
+
+@dataclass
+class AgentConfig:
+    """Feature switches for one agent instance."""
+
+    placement: Placement = Placement.KERNEL
+    cache: bool = True
+    failover: bool = True
+    shortcut: bool = False
+    attr_ttl_ms: float = 3000.0
+    data_ttl_ms: float = 3000.0
+
+
+class Agent(Node):
+    """A client machine running the agent.
+
+    The public methods mirror what a user program does through the kernel
+    VFS: path-based file operations.  All remote work goes through the NFS
+    protocol to the currently connected server.
+    """
+
+    def __init__(self, network: Network, addr: str, servers: list[str],
+                 config: AgentConfig | None = None):
+        super().__init__(network, addr)
+        if not servers:
+            raise ValueError("agent needs at least one server address")
+        self.servers = list(servers)
+        self.config = config or AgentConfig()
+        self.current = 0
+        self.root_fh: FileHandle | None = None
+        self._attr_cache: dict[str, tuple[FileAttrs, float]] = {}
+        self._data_cache: dict[str, tuple[bytes, float]] = {}
+        self._handle_cache: dict[str, FileHandle] = {}
+        self._location_cache: dict[str, str] = {}
+        self.metrics = network.metrics
+
+    # ------------------------------------------------------------------ #
+    # transport with failover
+    # ------------------------------------------------------------------ #
+
+    @property
+    def server(self) -> str:
+        """Address of the currently connected server."""
+        return self.servers[self.current]
+
+    async def _user_hop(self) -> None:
+        await self.kernel.sleep(self.config.placement.hop_ms)
+
+    async def _nfs(self, op: str, args: dict[str, Any],
+                   to: str | None = None, size_bytes: int = 256) -> dict:
+        """One NFS RPC, with failover across servers when enabled."""
+        await self._user_hop()
+        attempts = len(self.servers) if self.config.failover else 1
+        last_exc: Exception | None = None
+        for _try in range(attempts):
+            target = to if to is not None else self.server
+            try:
+                reply = await self.call(target, "nfs", op=op, args=args,
+                                        timeout=RPC_TIMEOUT_MS,
+                                        size_bytes=size_bytes, tag=f"nfs.{op}")
+            except (RpcTimeout, Unreachable, RpcRemoteError) as exc:
+                last_exc = exc
+                if to is not None:
+                    to = None  # shortcut target failed: fall back to server
+                    continue
+                if not self.config.failover:
+                    break
+                self.current = (self.current + 1) % len(self.servers)
+                self.metrics.incr("agent.failovers")
+                continue
+            if reply["status"] != 0:
+                raise NfsError(reply["status"], reply.get("error", ""))
+            return reply
+        raise nfs_error(NfsStat.ERR_IO,
+                        f"no server reachable for {op}: {last_exc}")
+
+    async def _cmd(self, cmd: str, args: dict[str, Any]) -> dict:
+        await self._user_hop()
+        reply = await self.call(self.server, "deceit_cmd", cmd=cmd, args=args,
+                                timeout=RPC_TIMEOUT_MS, tag=f"cmd.{cmd}")
+        if reply["status"] != 0:
+            raise NfsError(reply["status"], reply.get("error", ""))
+        return reply
+
+    # ------------------------------------------------------------------ #
+    # mount and path resolution
+    # ------------------------------------------------------------------ #
+
+    async def mount(self) -> FileHandle:
+        """Fetch the root handle from the connected server."""
+        await self._user_hop()
+        reply = await self.call(self.server, "nfs_root",
+                                timeout=RPC_TIMEOUT_MS, tag="mount")
+        if reply["status"] != 0:
+            raise NfsError(reply["status"], reply.get("error", ""))
+        self.root_fh = FileHandle.decode(reply["fh"])
+        return self.root_fh
+
+    async def lookup_path(self, path: str) -> FileHandle:
+        """Walk a slash path from the root, one LOOKUP per component."""
+        if self.root_fh is None:
+            await self.mount()
+        if self.config.cache and path in self._handle_cache:
+            self.metrics.incr("agent.handle_cache_hits")
+            return self._handle_cache[path]
+        fh = self.root_fh
+        walked: list[str] = []
+        for part in split_path(path):
+            walked.append(part)
+            prefix = "/" + "/".join(walked)
+            if self.config.cache and prefix in self._handle_cache:
+                fh = self._handle_cache[prefix]
+                continue
+            reply = await self._nfs("lookup", {"fh": fh.encode(), "name": part})
+            fh = FileHandle.decode(reply["fh"])
+            if self.config.cache:
+                self._handle_cache[prefix] = fh
+                self._remember_attrs(fh, FileAttrs.from_wire(reply["attrs"]))
+        return fh
+
+    def _remember_attrs(self, fh: FileHandle, attrs: FileAttrs) -> None:
+        self._attr_cache[fh.encode()] = (attrs, self.kernel.now +
+                                         self.config.attr_ttl_ms)
+
+    def _invalidate(self, fh: FileHandle) -> None:
+        self._attr_cache.pop(fh.encode(), None)
+        self._data_cache.pop(fh.encode(), None)
+
+    # ------------------------------------------------------------------ #
+    # file operations
+    # ------------------------------------------------------------------ #
+
+    async def getattr(self, path_or_fh: str | FileHandle) -> FileAttrs:
+        """Attributes, served from the agent cache when fresh."""
+        fh = await self._resolve(path_or_fh)
+        key = fh.encode()
+        if self.config.cache:
+            cached = self._attr_cache.get(key)
+            if cached and cached[1] > self.kernel.now:
+                self.metrics.incr("agent.attr_cache_hits")
+                return cached[0]
+        reply = await self._nfs("getattr", {"fh": key})
+        attrs = FileAttrs.from_wire(reply["attrs"])
+        if self.config.cache:
+            self._remember_attrs(fh, attrs)
+        return attrs
+
+    async def _resolve(self, path_or_fh: str | FileHandle) -> FileHandle:
+        if isinstance(path_or_fh, FileHandle):
+            return path_or_fh
+        return await self.lookup_path(path_or_fh)
+
+    async def read_file(self, path_or_fh: str | FileHandle) -> bytes:
+        """Whole-file read (the dominant access pattern, §2.3)."""
+        fh = await self._resolve(path_or_fh)
+        key = fh.encode()
+        if self.config.cache:
+            cached = self._data_cache.get(key)
+            if cached and cached[1] > self.kernel.now:
+                self.metrics.incr("agent.data_cache_hits")
+                return cached[0]
+        to = await self._shortcut_target(fh)
+        reply = await self._nfs("read", {"fh": key}, to=to)
+        data = reply["data"]
+        if self.config.cache:
+            self._data_cache[key] = (data, self.kernel.now +
+                                     self.config.data_ttl_ms)
+        return data
+
+    async def _shortcut_target(self, fh: FileHandle) -> str | None:
+        """Access shortcut: read directly from a replica holder (§5.3)."""
+        if not self.config.shortcut or fh.foreign:
+            return None
+        key = fh.sid
+        if key not in self._location_cache:
+            try:
+                reply = await self._cmd("locate", {"fh": fh.encode()})
+            except NfsError:
+                return None
+            holders = reply["located"]["holders"]
+            if not holders:
+                return None
+            self._location_cache[key] = holders[0]
+            self.metrics.incr("agent.shortcuts_learned")
+        return self._location_cache[key]
+
+    async def write_file(self, path_or_fh: str | FileHandle,
+                         data: bytes) -> FileAttrs:
+        """Whole-file write: truncate-and-write in one NFS write at 0."""
+        fh = await self._resolve(path_or_fh)
+        await self._nfs("setattr", {"fh": fh.encode(), "sattr": {"size": 0}})
+        reply = await self._nfs("write", {"fh": fh.encode(), "offset": 0,
+                                          "data": data},
+                                size_bytes=max(256, len(data)))
+        self._invalidate(fh)
+        attrs = FileAttrs.from_wire(reply["attrs"])
+        if self.config.cache:
+            self._remember_attrs(fh, attrs)
+        return attrs
+
+    async def write_at(self, path_or_fh: str | FileHandle, offset: int,
+                       data: bytes) -> FileAttrs:
+        """Positioned write."""
+        fh = await self._resolve(path_or_fh)
+        reply = await self._nfs("write", {"fh": fh.encode(), "offset": offset,
+                                          "data": data},
+                                size_bytes=max(256, len(data)))
+        self._invalidate(fh)
+        return FileAttrs.from_wire(reply["attrs"])
+
+    async def create(self, dirpath: str, name: str,
+                     sattr: dict | None = None) -> FileHandle:
+        """Create a file in the directory at ``dirpath``."""
+        dirfh = await self._resolve(dirpath)
+        reply = await self._nfs("create", {"fh": dirfh.encode(), "name": name,
+                                           "sattr": sattr or {}})
+        fh = FileHandle.decode(reply["fh"])
+        if self.config.cache:
+            self._handle_cache[dirpath.rstrip("/") + "/" + name] = fh
+        return fh
+
+    async def mkdir(self, dirpath: str, name: str) -> FileHandle:
+        """Create a directory."""
+        dirfh = await self._resolve(dirpath)
+        reply = await self._nfs("mkdir", {"fh": dirfh.encode(), "name": name})
+        fh = FileHandle.decode(reply["fh"])
+        if self.config.cache:
+            self._handle_cache[dirpath.rstrip("/") + "/" + name] = fh
+        return fh
+
+    async def symlink(self, dirpath: str, name: str, target: str) -> FileHandle:
+        """Create a soft link."""
+        dirfh = await self._resolve(dirpath)
+        reply = await self._nfs("symlink", {"fh": dirfh.encode(), "name": name,
+                                            "target": target})
+        return FileHandle.decode(reply["fh"])
+
+    async def readlink(self, path_or_fh: str | FileHandle) -> str:
+        """Read a soft link's target."""
+        fh = await self._resolve(path_or_fh)
+        return (await self._nfs("readlink", {"fh": fh.encode()}))["target"]
+
+    async def remove(self, dirpath: str, name: str) -> None:
+        """Unlink a file."""
+        dirfh = await self._resolve(dirpath)
+        await self._nfs("remove", {"fh": dirfh.encode(), "name": name})
+        self._handle_cache.pop(dirpath.rstrip("/") + "/" + name, None)
+
+    async def rmdir(self, dirpath: str, name: str) -> None:
+        """Remove an empty directory."""
+        dirfh = await self._resolve(dirpath)
+        await self._nfs("rmdir", {"fh": dirfh.encode(), "name": name})
+        self._handle_cache.pop(dirpath.rstrip("/") + "/" + name, None)
+
+    async def rename(self, fromdir: str, fromname: str,
+                     todir: str, toname: str) -> None:
+        """Move/rename a file."""
+        fromfh = await self._resolve(fromdir)
+        tofh = await self._resolve(todir)
+        await self._nfs("rename", {"fh": fromfh.encode(), "fromname": fromname,
+                                   "tofh": tofh.encode(), "toname": toname})
+        self._handle_cache.pop(fromdir.rstrip("/") + "/" + fromname, None)
+
+    async def link(self, filepath: str, todir: str, name: str) -> None:
+        """Create a hard link."""
+        fh = await self._resolve(filepath)
+        tofh = await self._resolve(todir)
+        await self._nfs("link", {"fh": fh.encode(), "tofh": tofh.encode(),
+                                 "name": name})
+
+    async def readdir(self, path_or_fh: str | FileHandle) -> list[dict]:
+        """List a directory."""
+        fh = await self._resolve(path_or_fh)
+        return (await self._nfs("readdir", {"fh": fh.encode()}))["entries"]
+
+    # ------------------------------------------------------------------ #
+    # Deceit special commands
+    # ------------------------------------------------------------------ #
+
+    async def set_params(self, path_or_fh: str | FileHandle, **changes) -> dict:
+        """Tune the file's semantic parameters (§4)."""
+        fh = await self._resolve(path_or_fh)
+        reply = await self._cmd("setparam", {"fh": fh.encode(),
+                                             "changes": changes})
+        return reply["params"]
+
+    async def list_versions(self, path_or_fh: str | FileHandle) -> dict[int, tuple]:
+        """All live versions of a file (``foo;3`` names, §3.5)."""
+        fh = await self._resolve(path_or_fh)
+        reply = await self._cmd("list_versions", {"fh": fh.encode()})
+        return {int(m): tuple(v) for m, v in reply["versions"].items()}
+
+    async def locate(self, path_or_fh: str | FileHandle) -> dict:
+        """Replica and token locations."""
+        fh = await self._resolve(path_or_fh)
+        return (await self._cmd("locate", {"fh": fh.encode()}))["located"]
+
+    async def create_replica(self, path_or_fh: str | FileHandle,
+                             server: str) -> bool:
+        """Explicitly place a replica (generation method 3)."""
+        fh = await self._resolve(path_or_fh)
+        reply = await self._cmd("create_replica", {"fh": fh.encode(),
+                                                   "server": server})
+        return reply["created"]
+
+    async def delete_replica(self, path_or_fh: str | FileHandle,
+                             server: str) -> bool:
+        """Explicitly remove a replica."""
+        fh = await self._resolve(path_or_fh)
+        reply = await self._cmd("delete_replica", {"fh": fh.encode(),
+                                                   "server": server})
+        return reply["deleted"]
+
+    async def conflicts(self) -> list[dict]:
+        """The well-known conflict log (§3.6)."""
+        return (await self._cmd("conflicts", {}))["conflicts"]
+
+    async def reconcile(self, path_or_fh: str | FileHandle, keep: int) -> list[int]:
+        """Resolve divergent versions by keeping one major."""
+        fh = await self._resolve(path_or_fh)
+        return (await self._cmd("reconcile", {"fh": fh.encode(),
+                                              "keep": keep}))["dropped"]

@@ -1,0 +1,19 @@
+"""Plain Sun NFS baseline (§2.1's comparison system).
+
+"In a normal NFS implementation, each server machine maintains a set of
+files disjoint from the sets maintained by all other servers ... The file
+name space is built by linking together the directory trees provided by the
+servers into a single tree.  This linking is done separately at each
+client."  Servers never talk to each other; a crashed server takes its
+subtree down with it (no failover — handles are server-bound).
+
+- :class:`~repro.baseline.server.BaselineNfsServer` — one exported
+  directory tree, local inode table, same NFS op vocabulary as Deceit;
+- :class:`~repro.baseline.client.BaselineClient` — resolves paths through
+  a per-client mount table mapping path prefixes to servers (Figure 1).
+"""
+
+from repro.baseline.client import BaselineClient
+from repro.baseline.server import BaselineNfsServer
+
+__all__ = ["BaselineClient", "BaselineNfsServer"]

@@ -1,0 +1,36 @@
+"""Deceit's core contribution: the distributed reliable segment server.
+
+The segment server (§5.1) provides a flat, reliable, distributed segment
+service — ``create``, ``delete``, ``read``, ``write``, ``setparam`` — and
+implements *all* of the update, replication, and versioning protocols:
+
+- per-file **semantic parameters** (:mod:`repro.core.params`, §4);
+- **version pairs** and history-tree comparison (:mod:`repro.core.versions`,
+  §3.5);
+- the **write-token protocol** (:mod:`repro.core.tokens`, §3.3) including
+  token generation under failure, constrained by the write availability
+  level;
+- **replica management** (:mod:`repro.core.replication`, §3.1): the four
+  generation paths, blast transfer, LRU deletion of extras;
+- **stability notification** (:mod:`repro.core.stability`, §3.4) for global
+  one-copy serializability;
+- **conflict logging** of incomparable versions (:mod:`repro.core.conflicts`,
+  §3.6).
+
+The NFS file-service envelope (:mod:`repro.nfs`) sits entirely on top of
+this layer, exactly as in Figure 6 of the paper.
+"""
+
+from repro.core.params import Availability, FileParams
+from repro.core.segment_server import SegmentServer, WriteOp
+from repro.core.versions import HistoryIndex, Relation, VersionPair
+
+__all__ = [
+    "Availability",
+    "FileParams",
+    "HistoryIndex",
+    "Relation",
+    "SegmentServer",
+    "VersionPair",
+    "WriteOp",
+]

@@ -1,0 +1,103 @@
+"""Conflict log for incomparable file versions (§3.6 "Partition").
+
+When a partition lets updates happen to both sides of a file's history,
+both incomparable versions are kept and "a notification is logged into a
+well known file."  It is the *user's* responsibility to resolve such
+conflicts, using the file's semantics — Deceit makes both versions
+available (``foo;3`` vs ``foo;7``) for independent editing or deletion.
+
+The log is replicated to every server in the cell through a dedicated ISIS
+group, so any client can read it from any server; the NFS envelope exposes
+it as an invisible control file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CONFLICT_GROUP = "deceit:conflicts"
+
+
+@dataclass(frozen=True)
+class ConflictRecord:
+    """One logged divergence: a segment with incomparable live versions."""
+
+    sid: str
+    majors: tuple[int, ...]
+    logged_at: float
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        """Message/disk form."""
+        return {
+            "sid": self.sid,
+            "majors": list(self.majors),
+            "logged_at": self.logged_at,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ConflictRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            sid=raw["sid"],
+            majors=tuple(raw["majors"]),
+            logged_at=raw["logged_at"],
+            note=raw.get("note", ""),
+        )
+
+
+class ConflictLog:
+    """Cell-replicated append-only conflict log.
+
+    Deduplicates by ``(sid, frozenset(majors))`` so a conflict discovered
+    independently by several servers during reconciliation is logged once.
+    """
+
+    def __init__(self):
+        self._records: list[ConflictRecord] = []
+        self._seen: set[tuple[str, frozenset[int]]] = set()
+
+    def add(self, record: ConflictRecord) -> bool:
+        """Append if new; returns whether the record was added."""
+        key = (record.sid, frozenset(record.majors))
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._records.append(record)
+        return True
+
+    def resolve(self, sid: str, majors: tuple[int, ...] | None = None) -> int:
+        """Drop records for ``sid`` (all, or just the given major set).
+
+        Called after the user reconciles versions; returns removed count.
+        """
+        if majors is None:
+            removed = [r for r in self._records if r.sid == sid]
+        else:
+            target = frozenset(majors)
+            removed = [r for r in self._records
+                       if r.sid == sid and frozenset(r.majors) == target]
+        for record in removed:
+            self._records.remove(record)
+            self._seen.discard((record.sid, frozenset(record.majors)))
+        return len(removed)
+
+    def records(self, sid: str | None = None) -> list[ConflictRecord]:
+        """Current records, optionally filtered by segment."""
+        if sid is None:
+            return list(self._records)
+        return [r for r in self._records if r.sid == sid]
+
+    def state(self) -> list[dict]:
+        """Serializable snapshot (ISIS state transfer)."""
+        return [r.to_dict() for r in self._records]
+
+    def load_state(self, raw: list[dict]) -> None:
+        """Merge a transferred snapshot (union — a rejoining side keeps the
+        conflicts it discovered during the partition)."""
+        for entry in raw:
+            self.add(ConflictRecord.from_dict(entry))
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,313 @@
+"""Segment, replica, token, and catalog records (§5.1, §3.3, §3.5).
+
+A *segment* is an array of bytes plus: the values of the semantic
+parameters, a version number pair, a process group, and read/write
+timestamps.  What lives on a server's disk is a :class:`Replica` of one
+*version* (major) of a segment, and possibly a :class:`Token` record when
+that server currently holds the write token for that major.
+
+The volatile, group-shared knowledge about a segment — which majors exist,
+their version pairs, who holds each token, who holds replicas — is the
+:class:`SegmentCatalog`; it is what ISIS state transfer ships to joining
+members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.params import FileParams
+from repro.core.versions import HistoryIndex, VersionPair
+
+
+@dataclass
+class WriteOp:
+    """One modification to a segment (§5.1: replace, append, or truncate).
+
+    Two pragmatic extensions the NFS envelope relies on:
+
+    - ``setdata`` replaces the entire contents in one atomic update
+      (directory rewrites must not be a truncate *plus* a replace, or
+      concurrent readers could observe the intermediate state);
+    - any op may carry a ``meta`` patch, merged after the data transform —
+      attribute changes (mtime with a write, uplink edits with a link) ride
+      the same atomically-distributed update as the data they describe.
+      A ``None`` value deletes the key.
+    """
+
+    kind: str     # "replace" | "append" | "truncate" | "setdata" | "setmeta"
+    offset: int = 0
+    data: bytes = b""
+    length: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def apply(self, data: bytes, meta: dict[str, Any]) -> tuple[bytes, dict[str, Any]]:
+        """Pure function: new (data, meta) after this operation."""
+        if self.kind == "replace":
+            if self.offset > len(data):
+                data = data + b"\x00" * (self.offset - len(data))
+            data = data[: self.offset] + self.data + data[self.offset + len(self.data):]
+        elif self.kind == "append":
+            data = data + self.data
+        elif self.kind == "truncate":
+            if self.length < 0:
+                raise ValueError("truncate length must be >= 0")
+            if self.length <= len(data):
+                data = data[: self.length]
+            else:
+                data = data + b"\x00" * (self.length - len(data))
+        elif self.kind == "setdata":
+            data = self.data
+        elif self.kind != "setmeta":
+            raise ValueError(f"unknown write op kind {self.kind!r}")
+        if self.meta:
+            merged = dict(meta)
+            for key, value in self.meta.items():
+                if value is None:
+                    merged.pop(key, None)
+                else:
+                    merged[key] = value
+            meta = merged
+        return data, meta
+
+    def to_dict(self) -> dict:
+        """Message/disk form."""
+        return {
+            "kind": self.kind,
+            "offset": self.offset,
+            "data": self.data,
+            "length": self.length,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "WriteOp":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=raw["kind"],
+            offset=raw.get("offset", 0),
+            data=raw.get("data", b""),
+            length=raw.get("length", 0),
+            meta=raw.get("meta", {}),
+        )
+
+
+@dataclass
+class Replica:
+    """One server's non-volatile copy of one major version of a segment."""
+
+    sid: str
+    major: int
+    data: bytes
+    meta: dict[str, Any]
+    version: VersionPair
+    params: FileParams
+    branches: HistoryIndex
+    stable: bool = True
+    read_ts: float = 0.0
+    write_ts: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Disk form (everything a crash must not lose, §3.5)."""
+        return {
+            "sid": self.sid,
+            "major": self.major,
+            "data": self.data,
+            "meta": self.meta,
+            "version": self.version.to_tuple(),
+            "params": self.params.to_dict(),
+            "branches": self.branches.to_dict(),
+            "stable": self.stable,
+            "read_ts": self.read_ts,
+            "write_ts": self.write_ts,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Replica":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            sid=raw["sid"],
+            major=raw["major"],
+            data=raw["data"],
+            meta=dict(raw["meta"]),
+            version=VersionPair.from_tuple(raw["version"]),
+            params=FileParams.from_dict(raw["params"]),
+            branches=HistoryIndex.from_dict(raw["branches"]),
+            stable=raw["stable"],
+            read_ts=raw["read_ts"],
+            write_ts=raw["write_ts"],
+        )
+
+
+@dataclass
+class Token:
+    """A write token: the sole right to distribute updates for one major.
+
+    ``version`` is the version pair replicas *should* have if up to date —
+    comparing it against a replica's pair answers "has this replica received
+    every update through this token" (§3.5).  ``holders`` is the token
+    holder's upper bound on the replica set (all generation goes through the
+    holder, §3.5 "Restricting updates...").
+    """
+
+    sid: str
+    major: int
+    version: VersionPair
+    parent: tuple[int, int] | None   # (parent major, sub at branch); None = root
+    holders: list[str]
+    enabled: bool = True
+
+    def to_dict(self) -> dict:
+        """Disk form."""
+        return {
+            "sid": self.sid,
+            "major": self.major,
+            "version": self.version.to_tuple(),
+            "parent": self.parent,
+            "holders": list(self.holders),
+            "enabled": self.enabled,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Token":
+        """Inverse of :meth:`to_dict`."""
+        parent = raw["parent"]
+        return cls(
+            sid=raw["sid"],
+            major=raw["major"],
+            version=VersionPair.from_tuple(raw["version"]),
+            parent=tuple(parent) if parent is not None else None,
+            holders=list(raw["holders"]),
+            enabled=raw["enabled"],
+        )
+
+
+@dataclass
+class MajorInfo:
+    """Catalog entry for one major version of a segment."""
+
+    major: int
+    version: VersionPair
+    holder: str | None               # current token holder (None = lost)
+    holders: set[str] = field(default_factory=set)   # replica holders
+    enabled: bool = True
+    unstable: bool = False
+    last_update_ts: float = 0.0
+    read_ts: dict[str, float] = field(default_factory=dict)  # holder -> last read
+
+    def to_dict(self) -> dict:
+        """State-transfer form."""
+        return {
+            "major": self.major,
+            "version": self.version.to_tuple(),
+            "holder": self.holder,
+            "holders": sorted(self.holders),
+            "enabled": self.enabled,
+            "unstable": self.unstable,
+            "last_update_ts": self.last_update_ts,
+            "read_ts": dict(self.read_ts),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "MajorInfo":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            major=raw["major"],
+            version=VersionPair.from_tuple(raw["version"]),
+            holder=raw["holder"],
+            holders=set(raw["holders"]),
+            enabled=raw["enabled"],
+            unstable=raw["unstable"],
+            last_update_ts=raw["last_update_ts"],
+            read_ts=dict(raw["read_ts"]),
+        )
+
+
+@dataclass
+class SegmentCatalog:
+    """Group-shared metadata about one segment (volatile; rebuilt by state
+    transfer on join and by recovery broadcasts after crashes)."""
+
+    sid: str
+    params: FileParams
+    branches: HistoryIndex
+    majors: dict[int, MajorInfo] = field(default_factory=dict)
+
+    def latest_major(self) -> int | None:
+        """The major an unqualified name resolves to (§3.5 version syntax).
+
+        Rule: among *enabled leaf* majors (those no other major branched
+        from at or past their current sub), pick the most recently updated;
+        ties break toward the larger major number.  Falls back to all
+        majors when every one is an interior node.
+        """
+        if not self.majors:
+            return None
+        candidates = []
+        for major, info in self.majors.items():
+            is_leaf = True
+            for other in self.majors.values():
+                parent = self.branches.parent_of(other.major)
+                if parent is not None and parent[0] == major:
+                    is_leaf = False
+                    break
+            if is_leaf:
+                candidates.append(info)
+        pool = candidates or list(self.majors.values())
+        best = max(pool, key=lambda i: (i.last_update_ts, i.major))
+        return best.major
+
+    def incomparable_pairs(self) -> list[tuple[int, int]]:
+        """Major pairs whose histories have diverged (conflict candidates)."""
+        from repro.core.versions import Relation
+
+        majors = sorted(self.majors)
+        out = []
+        for i, a in enumerate(majors):
+            for b in majors[i + 1:]:
+                rel = self.branches.compare(
+                    self.majors[a].version, self.majors[b].version
+                )
+                if rel is Relation.INCOMPARABLE:
+                    out.append((a, b))
+        return out
+
+    def to_dict(self) -> dict:
+        """State-transfer form."""
+        return {
+            "sid": self.sid,
+            "params": self.params.to_dict(),
+            "branches": self.branches.to_dict(),
+            "majors": {str(m): info.to_dict() for m, info in self.majors.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SegmentCatalog":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            sid=raw["sid"],
+            params=FileParams.from_dict(raw["params"]),
+            branches=HistoryIndex.from_dict(raw["branches"]),
+            majors={int(m): MajorInfo.from_dict(i) for m, i in raw["majors"].items()},
+        )
+
+    def merge(self, other: "SegmentCatalog") -> None:
+        """Fold another catalog in (recovery / partition-heal reconciliation).
+
+        Branch records union; per-major info merges by freshest version
+        (higher sub wins for the same major); replica-holder sets union.
+        """
+        self.branches.merge(other.branches)
+        for major, info in other.majors.items():
+            mine = self.majors.get(major)
+            if mine is None:
+                self.majors[major] = MajorInfo.from_dict(info.to_dict())
+                continue
+            mine.holders |= info.holders
+            if info.version.sub > mine.version.sub:
+                mine.version = info.version
+                mine.holder = info.holder
+                mine.last_update_ts = max(mine.last_update_ts, info.last_update_ts)
+            for addr, ts in info.read_ts.items():
+                mine.read_ts[addr] = max(mine.read_ts.get(addr, 0.0), ts)

@@ -1,0 +1,168 @@
+"""Stability notification: global one-copy serializability (§3.4, §3.6).
+
+Before a file is modified, every member of its file group is told the file
+is *unstable*; all available replicas must acknowledge before any update
+flows.  While unstable, reads are forwarded to the token holder — its
+replica is, in effect, the primary — so all clients see updates
+simultaneously even though replica propagation is asynchronous.  After a
+short period with no write activity the token holder marks the file stable
+again.
+
+The failure half (§3.6): if the token holder dies mid-stream, surviving
+replicas may be mutually inconsistent, but they are all *marked unstable* —
+so a read hitting an unstable replica whose token holder is unreachable
+triggers recovery: broadcast for replica states, forward to any stable
+replica, or force the most up-to-date unstable replica stable and destroy
+the obsolete ones.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReplicaUnavailable
+
+STABILITY_ACK_TIMEOUT_MS = 300.0
+#: Quiet period after the last write before the holder re-marks stable.
+STABLE_QUIET_MS = 200.0
+
+
+class StabilityMixin:
+    """Stability-notification half of the segment server."""
+
+    # ------------------------------------------------------------------ #
+    # marking (runs at the token holder)
+    # ------------------------------------------------------------------ #
+
+    async def _mark_unstable(self, sid: str, major: int) -> None:
+        """Notify the file group that (sid, major) is entering a write burst.
+
+        Waits for acknowledgements from all currently reachable members —
+        "all available replicas must be so notified before any updates can
+        occur."
+        """
+        cat = self.catalogs[sid]
+        info = cat.majors[major]
+        if info.unstable:
+            return
+        self.metrics.incr("deceit.stability_marks")
+        await self.proc.cbcast(
+            self._group_of(sid),
+            {"op": "mark_unstable", "sid": sid, "major": major},
+            nreplies="all", timeout=STABILITY_ACK_TIMEOUT_MS, tag="stability",
+        )
+        info.unstable = True
+
+    def _schedule_stable(self, sid: str, major: int) -> None:
+        """(Re)arm the quiet-period timer after a write."""
+        key = (sid, major)
+        handle = self._stable_timers.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+        self._stable_timers[key] = self.kernel.schedule(
+            STABLE_QUIET_MS, self._stable_timer_fired, sid, major
+        )
+
+    def _stable_timer_fired(self, sid: str, major: int) -> None:
+        self._stable_timers.pop((sid, major), None)
+        if (sid, major) not in self.tokens:
+            return
+        self.proc.spawn(self._mark_stable(sid, major),
+                        name=f"{self.proc.addr}:stable:{sid}")
+
+    async def _mark_stable(self, sid: str, major: int) -> None:
+        """End-of-burst: tell the group the file is stable again."""
+        cat = self.catalogs.get(sid)
+        if cat is None or major not in cat.majors:
+            return
+        info = cat.majors[major]
+        if not info.unstable:
+            return
+        info.unstable = False
+        self.metrics.incr("deceit.stability_clears")
+        await self.proc.cbcast(
+            self._group_of(sid),
+            {"op": "mark_stable", "sid": sid, "major": major},
+            nreplies=0, tag="stability",
+        )
+
+    # ------------------------------------------------------------------ #
+    # group-message handlers (run at every member)
+    # ------------------------------------------------------------------ #
+
+    async def _deliver_mark_unstable(self, sid: str, major: int) -> dict:
+        cat = self.catalogs.get(sid)
+        if cat is not None and major in cat.majors:
+            cat.majors[major].unstable = True
+        replica = self.replicas.get((sid, major))
+        if replica is not None and replica.stable:
+            replica.stable = False
+            # The unstable mark itself must survive a crash — it is what
+            # recovery uses to detect possibly-inconsistent replicas.
+            await self._persist_replica(replica, sync=True)
+        return {"marked": True}
+
+    async def _deliver_mark_stable(self, sid: str, major: int) -> dict:
+        cat = self.catalogs.get(sid)
+        if cat is not None and major in cat.majors:
+            cat.majors[major].unstable = False
+        replica = self.replicas.get((sid, major))
+        if replica is not None and not replica.stable:
+            replica.stable = True
+            await self._persist_replica(replica, sync=False)
+        return {"marked": True}
+
+    # ------------------------------------------------------------------ #
+    # read-side recovery (§3.6 "Stability Notification in the Presence
+    # of Failure")
+    # ------------------------------------------------------------------ #
+
+    async def _stability_recovery(self, sid: str, major: int) -> str:
+        """Find or forge a stable replica; returns the server to read from."""
+        self.metrics.incr("deceit.stability_recoveries")
+        replies = await self.proc.cbcast(
+            self._group_of(sid),
+            {"op": "state_inquiry", "sid": sid, "major": major},
+            nreplies="all", timeout=STABILITY_ACK_TIMEOUT_MS, tag="state_inquiry",
+        )
+        holders = [
+            (member, value) for member, value in replies
+            if isinstance(value, dict) and value.get("have_replica")
+        ]
+        if not holders:
+            raise ReplicaUnavailable(f"{sid}: no replica of {major} reachable")
+        stable = [m for m, v in holders if v.get("stable")]
+        if stable:
+            return stable[0]
+        # No stable replica anywhere: force the most up-to-date one stable
+        # and destroy the obsolete ones.
+        best_member, best = max(holders, key=lambda mv: mv[1]["version"][1])
+        await self.proc.cbcast(
+            self._group_of(sid),
+            {"op": "force_stable", "sid": sid, "major": major,
+             "chosen": best_member, "version": best["version"]},
+            nreplies="all", timeout=STABILITY_ACK_TIMEOUT_MS, tag="force_stable",
+        )
+        self.metrics.incr("deceit.forced_stable")
+        return best_member
+
+    async def _deliver_force_stable(self, sid: str, major: int, chosen: str,
+                                    version: list) -> dict:
+        """Member handler: obsolete unstable replicas are destroyed; the
+        chosen replica becomes stable."""
+        cat = self.catalogs.get(sid)
+        replica = self.replicas.get((sid, major))
+        if cat is not None and major in cat.majors:
+            info = cat.majors[major]
+            info.unstable = False
+            from repro.core.versions import VersionPair
+            info.version = VersionPair.from_tuple(version)
+        if replica is None:
+            return {"ok": True}
+        if replica.version.sub < version[1]:
+            # obsolete: destroy (it missed updates the chosen replica has)
+            await self._destroy_local_replica(sid, major)
+            self.metrics.incr("deceit.obsolete_replicas_destroyed")
+            return {"destroyed": True}
+        if not replica.stable:
+            replica.stable = True
+            await self._persist_replica(replica, sync=True)
+        return {"ok": True}

@@ -1,0 +1,310 @@
+"""Write-token protocol: acquisition, passing, and generation (§3.3, §3.5).
+
+Only the server holding a file's write token may distribute updates to its
+file group; an update then costs a single communication round.  Token
+acquisition costs one extra round but is paid only for the first of a
+stream of updates — the regime the operational assumptions (§2.3) say is
+typical.
+
+When the token holder is unreachable, a new token may be *generated*,
+subject to the file's write availability level:
+
+- ``LOW`` — never: writes fail until the holder returns.
+- ``MEDIUM`` (default) — only when a majority of the replicas is reachable;
+  a held token is *disabled* when its holder loses the majority.
+- ``HIGH`` — always: maximum write availability, divergence likely under
+  partition.
+
+Generating a token mints a fresh globally unique major version: "The new
+token represents a distinct new file with a distinct set of replicas."
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReplicaUnavailable, WriteUnavailable
+from repro.core.params import Availability
+from repro.core.segment import MajorInfo, Replica, Token
+from repro.core.versions import VersionPair
+
+TOKEN_PASS_TIMEOUT_MS = 350.0
+INQUIRY_TIMEOUT_MS = 250.0
+
+
+class TokenMixin:
+    """Token-protocol half of the segment server.
+
+    Expects the host class to provide: ``proc`` (IsisProcess), ``disk``,
+    ``replicas``, ``tokens``, ``catalogs``, ``alloc``, ``metrics``,
+    ``_token_waits``, ``_group_of()``, ``_persist_replica()``,
+    ``_persist_token()``, ``_delete_token_record()``, and
+    ``_fetch_replica_from()``.
+    """
+
+    # ------------------------------------------------------------------ #
+    # acquisition
+    # ------------------------------------------------------------------ #
+
+    async def _ensure_token(self, sid: str, major: int) -> int:
+        """Make this server the token holder for ``sid``; returns the major
+        actually writable (token generation may mint a new one)."""
+        token = self.tokens.get((sid, major))
+        if token is not None:
+            if not token.enabled:
+                await self._try_reenable_token(sid, token)
+            return major
+        cat = self.catalogs[sid]
+        info = cat.majors[major]
+        if info.holder == self.proc.addr:
+            # catalog says we hold it but the record is gone (stale catalog
+            # after our crash): fall through to generation/acquisition
+            info.holder = None
+        if info.holder is not None:
+            acquired = await self._request_token_pass(sid, major)
+            if acquired:
+                return major
+        self.metrics.incr("deceit.token_losses_detected")
+        return await self._generate_token(sid, major)
+
+    async def _request_token_pass(self, sid: str, major: int) -> bool:
+        """One round: broadcast a token request; wait for the pass (§3.3)."""
+        group = self._group_of(sid)
+        wait = self.kernel.create_future()
+        self._token_waits[(sid, major)] = wait
+        self.metrics.incr("deceit.token_requests")
+        try:
+            await self.proc.cbcast(
+                group,
+                {"op": "token_request", "sid": sid, "major": major,
+                 "requester": self.proc.addr},
+                nreplies=0, tag="token_request",
+            )
+            from repro.sim import SimTimeoutError
+            try:
+                await self.kernel.wait_for(wait, TOKEN_PASS_TIMEOUT_MS)
+            except SimTimeoutError:
+                return False
+            return True
+        finally:
+            self._token_waits.pop((sid, major), None)
+
+    async def _deliver_token_request(self, sid: str, major: int, requester: str,
+                                     piggyback: dict | None = None,
+                                     reply_req: int | None = None) -> dict:
+        """Group-message handler at every member; only the holder acts.
+
+        ``piggyback`` carries an update broadcast "in the same message with
+        a token request" (§3.3 optimization 1): the holder embeds it in the
+        token pass, and "replica holders execute those updates upon
+        receiving the corresponding token pass."
+        """
+        token = self.tokens.get((sid, major))
+        if token is None or requester == self.proc.addr:
+            return {"holder": False}
+        # Finish any in-flight update stream before handing over.
+        lock = self._update_lock(sid)
+        await lock.acquire()
+        try:
+            token = self.tokens.pop((sid, major), None)
+            if token is None:
+                return {"holder": False}
+            await self._delete_token_record(sid, major)
+            pass_msg = {"op": "token_pass", "sid": sid, "major": major,
+                        "to": requester, "token": token.to_dict()}
+            if piggyback is not None:
+                new_version = token.version.next_update()
+                pass_msg["token"]["version"] = new_version.to_tuple()
+                pass_msg["piggyback"] = piggyback
+                pass_msg["piggyback_version"] = new_version.to_tuple()
+                pass_msg["reply_req"] = reply_req
+                pass_msg["origin"] = requester
+                self.metrics.incr("deceit.piggybacked_updates")
+            await self.proc.cbcast(
+                self._group_of(sid), pass_msg, nreplies=0, tag="token_pass",
+            )
+            self.metrics.incr("deceit.token_passes")
+        finally:
+            lock.release()
+        return {"holder": True}
+
+    async def _deliver_token_pass(self, sid: str, major: int, to: str,
+                                  token_dict: dict,
+                                  piggyback: dict | None = None,
+                                  piggyback_version: list | None = None,
+                                  reply_req: int | None = None,
+                                  origin: str | None = None) -> dict:
+        """Everyone learns the new holder; the recipient installs the token.
+
+        A piggybacked update (§3.3 optimization 1) is applied by every
+        replica holder here, with acknowledgements flowing back to the
+        requester so its write-safety accounting still works.
+        """
+        cat = self.catalogs.get(sid)
+        if cat is not None and major in cat.majors:
+            cat.majors[major].holder = to
+        if piggyback is not None:
+            await self._apply_piggyback(sid, major, piggyback,
+                                        piggyback_version, reply_req, origin)
+        if to != self.proc.addr:
+            return {"noted": True}
+        token = Token.from_dict(token_dict)
+        self.tokens[(sid, major)] = token
+        await self._persist_token(token)
+        if (sid, major) not in self.replicas:
+            # The holder's replica is the primary during instability (§3.4);
+            # fetch one before acknowledging the token.
+            await self._fetch_replica_from(sid, major, set(token.holders))
+        wait = self._token_waits.get((sid, major))
+        if wait is not None:
+            wait.try_set_result(None)
+        return {"installed": True}
+
+    async def _apply_piggyback(self, sid: str, major: int, wop_dict: dict,
+                               version: list, reply_req: int | None,
+                               origin: str | None) -> None:
+        from repro.core.segment import WriteOp
+        from repro.core.versions import VersionPair
+        new_version = VersionPair.from_tuple(version)
+        cat = self.catalogs.get(sid)
+        if cat is not None and major in cat.majors:
+            cat.majors[major].version = new_version
+            cat.majors[major].last_update_ts = self.kernel.now
+        replica = self.replicas.get((sid, major))
+        applied = False
+        if replica is not None and replica.version.sub + 1 == new_version.sub:
+            op = WriteOp.from_dict(wop_dict)
+            replica.data, replica.meta = op.apply(replica.data, replica.meta)
+            replica.version = new_version
+            replica.write_ts = self.kernel.now
+            await self._persist_replica(
+                replica, sync=replica.params.write_safety >= 1)
+            applied = True
+        if reply_req is not None and origin is not None:
+            reply = {"type": "mreply", "req_id": reply_req,
+                     "member": self.proc.addr,
+                     "value": {"ok": applied, "have_replica": replica is not None}}
+            if origin == self.proc.addr:
+                self.proc._on_mreply(reply)
+            else:
+                self.proc.send(origin, reply, size_bytes=128, tag="mreply")
+
+    # ------------------------------------------------------------------ #
+    # generation (§3.5)
+    # ------------------------------------------------------------------ #
+
+    async def _generate_token(self, sid: str, major: int) -> int:
+        """Mint a new token — a new major version — for an unreachable one."""
+        cat = self.catalogs[sid]
+        policy = cat.params.write_availability
+        if policy is Availability.LOW:
+            raise WriteUnavailable(
+                f"{sid}: token for major {major} lost and availability=low"
+            )
+        if policy is Availability.MEDIUM:
+            available = await self._count_available_replicas(sid, major)
+            total = max(cat.params.min_replicas, len(cat.majors[major].holders))
+            if available < total // 2 + 1:
+                raise WriteUnavailable(
+                    f"{sid}: only {available}/{total} replicas reachable "
+                    f"(availability=medium needs a majority)"
+                )
+        base = self.replicas.get((sid, major))
+        if base is None:
+            base = await self._fetch_replica_from(
+                sid, major, set(cat.majors[major].holders)
+            )
+        if base is None:
+            raise ReplicaUnavailable(f"{sid}: no replica of major {major} reachable")
+        new_major = self.alloc.next_major()
+        branch_sub = base.version.sub
+        cat.branches.record_branch(new_major, major, branch_sub)
+        new_version = VersionPair(new_major, branch_sub)
+        replica = Replica(
+            sid=sid, major=new_major, data=base.data, meta=dict(base.meta),
+            version=new_version, params=cat.params,
+            branches=cat.branches.copy(), stable=True,
+            read_ts=self.kernel.now, write_ts=base.write_ts,
+        )
+        self.replicas[(sid, new_major)] = replica
+        await self._persist_replica(replica, sync=True)
+        token = Token(sid=sid, major=new_major, version=new_version,
+                      parent=(major, branch_sub), holders=[self.proc.addr])
+        self.tokens[(sid, new_major)] = token
+        await self._persist_token(token)
+        cat.majors[new_major] = MajorInfo(
+            major=new_major, version=new_version, holder=self.proc.addr,
+            holders={self.proc.addr}, last_update_ts=self.kernel.now,
+        )
+        await self.proc.cbcast(
+            self._group_of(sid),
+            {"op": "token_generated", "sid": sid, "major": new_major,
+             "parent": [major, branch_sub], "version": new_version.to_tuple(),
+             "holder": self.proc.addr},
+            nreplies=0, tag="token_generated",
+        )
+        self.metrics.incr("deceit.tokens_generated")
+        self.proc.spawn(self._replenish(sid, new_major),
+                        name=f"{self.proc.addr}:replenish:{sid}")
+        return new_major
+
+    def _deliver_token_generated(self, sid: str, major: int, parent: list,
+                                 version: list, holder: str) -> dict:
+        """Members learn about a freshly minted major version."""
+        cat = self.catalogs.get(sid)
+        if cat is None:
+            return {"noted": False}
+        try:
+            cat.branches.record_branch(major, parent[0], parent[1])
+        except ValueError:
+            pass  # duplicate announcement
+        if major not in cat.majors:
+            cat.majors[major] = MajorInfo(
+                major=major, version=VersionPair.from_tuple(version),
+                holder=holder, holders={holder} if holder else set(),
+                last_update_ts=self.kernel.now,
+            )
+        return {"noted": True}
+
+    # ------------------------------------------------------------------ #
+    # availability accounting (medium policy)
+    # ------------------------------------------------------------------ #
+
+    async def _count_available_replicas(self, sid: str, major: int) -> int:
+        """Broadcast an inquiry to the file group and count replica holders
+        among the correct replies (§3.5 "Restricting updates...")."""
+        replies = await self.proc.cbcast(
+            self._group_of(sid),
+            {"op": "state_inquiry", "sid": sid, "major": major},
+            nreplies="all", timeout=INQUIRY_TIMEOUT_MS, tag="state_inquiry",
+        )
+        return sum(1 for _m, value in replies
+                   if isinstance(value, dict) and value.get("have_replica"))
+
+    async def _try_reenable_token(self, sid: str, token: Token) -> None:
+        """A disabled token revives once a majority is reachable again."""
+        cat = self.catalogs[sid]
+        available = await self._count_available_replicas(sid, token.major)
+        total = max(cat.params.min_replicas, len(cat.majors[token.major].holders))
+        if available >= total // 2 + 1:
+            token.enabled = True
+            await self._persist_token(token)
+            self.metrics.incr("deceit.tokens_reenabled")
+        else:
+            raise WriteUnavailable(
+                f"{sid}: token disabled, {available}/{total} replicas reachable"
+            )
+
+    def _maybe_disable_token(self, sid: str, major: int, replica_replies: int) -> None:
+        """After an update audit: medium availability disables the token when
+        fewer than a majority of replicas answered."""
+        cat = self.catalogs.get(sid)
+        token = self.tokens.get((sid, major))
+        if cat is None or token is None:
+            return
+        if cat.params.write_availability is not Availability.MEDIUM:
+            return
+        total = max(cat.params.min_replicas, len(cat.majors[major].holders))
+        if replica_replies < total // 2 + 1 and token.enabled:
+            token.enabled = False
+            self.metrics.incr("deceit.tokens_disabled")
+            self.proc.spawn(self._persist_token(token),
+                            name=f"{self.proc.addr}:tok_disable")

@@ -1,0 +1,126 @@
+"""Exception hierarchy shared across the Deceit reproduction.
+
+Errors are grouped by layer: network/transport, ISIS group layer, segment
+server (Deceit core), and the NFS envelope.  NFS-visible failures carry an
+``nfsstat``-style numeric code so the envelope can answer clients exactly
+the way a Sun NFS server would.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# --------------------------------------------------------------------- #
+# transport layer
+# --------------------------------------------------------------------- #
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class Unreachable(NetworkError):
+    """Destination cannot be reached (crashed node or partition)."""
+
+
+class RpcTimeout(NetworkError):
+    """An RPC did not receive a reply within its timeout."""
+
+
+# --------------------------------------------------------------------- #
+# ISIS layer
+# --------------------------------------------------------------------- #
+
+
+class IsisError(ReproError):
+    """Base class for process-group layer failures."""
+
+
+class NotMember(IsisError):
+    """Operation attempted on a group the caller has not joined."""
+
+
+class GroupNotFound(IsisError):
+    """No live member of the named group could be located."""
+
+
+class ViewChangeInProgress(IsisError):
+    """Operation rejected while a membership change is being installed."""
+
+
+# --------------------------------------------------------------------- #
+# Deceit core (segment server)
+# --------------------------------------------------------------------- #
+
+
+class SegmentError(ReproError):
+    """Base class for segment-server failures."""
+
+
+class NoSuchSegment(SegmentError):
+    """Segment handle does not name a live segment (any version)."""
+
+
+class VersionConflict(SegmentError):
+    """Conditional write carried a stale version pair (§5.1).
+
+    The segment-server analogue of an aborted optimistic transaction; the
+    caller re-reads and retries.
+    """
+
+    def __init__(self, expected, actual):
+        super().__init__(f"version conflict: expected {expected}, found {actual}")
+        self.expected = expected
+        self.actual = actual
+
+
+class WriteUnavailable(SegmentError):
+    """No write token is held or obtainable under the file's availability
+    level (§3.5: token disabled or generation inhibited)."""
+
+
+class ReplicaUnavailable(SegmentError):
+    """No replica of the segment is reachable from this server."""
+
+
+class StabilityViolation(SegmentError):
+    """Internal invariant breach in the stability-notification protocol."""
+
+
+# --------------------------------------------------------------------- #
+# NFS envelope
+# --------------------------------------------------------------------- #
+
+
+class NfsStat:
+    """Subset of NFS v2 status codes used by the envelope."""
+
+    OK = 0
+    ERR_PERM = 1
+    ERR_NOENT = 2
+    ERR_IO = 5
+    ERR_EXIST = 17
+    ERR_NOTDIR = 20
+    ERR_ISDIR = 21
+    ERR_FBIG = 27
+    ERR_NOSPC = 28
+    ERR_ROFS = 30
+    ERR_NAMETOOLONG = 63
+    ERR_NOTEMPTY = 66
+    ERR_STALE = 70
+
+
+class NfsError(ReproError):
+    """NFS-protocol error carrying an :class:`NfsStat` code."""
+
+    def __init__(self, status: int, message: str = ""):
+        super().__init__(message or f"nfs error {status}")
+        self.status = status
+
+
+def nfs_error(status: int, message: str = "") -> NfsError:
+    """Convenience constructor used throughout the envelope."""
+    return NfsError(status, message)

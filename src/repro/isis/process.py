@@ -1,0 +1,701 @@
+"""The ISIS process: group membership, ordered multicast, state transfer.
+
+One :class:`IsisProcess` runs per server machine.  The application above it
+(Deceit's segment server) supplies a :class:`GroupApp` with four callbacks:
+message delivery, view-change notification, and state get/set for transfer
+to joining members.
+
+Protocol summary
+----------------
+
+*Multicast (cbcast)* — Birman-Schiper-Stephenson causal broadcast: each
+message carries the sender's per-group vector clock; receivers delay
+delivery until the clock condition holds.  Reply collection is ISIS-style:
+the sender asks for the first *k* replies (or all) within a timeout and gets
+whatever arrived — counting correct replies is exactly how Deceit's token
+holder detects replica loss (§3.1).
+
+*Totally ordered multicast (abcast)* — forwarded to the view coordinator,
+which emits it as its own FIFO multicast; since one process sequences every
+abcast of the view, all members deliver in one order.
+
+*View change* — the coordinator flushes the old view (members pause sends
+and surrender their message logs), merges the logs so every message seen by
+any survivor is delivered at all survivors (virtual synchrony), then
+installs the new view, shipping application state to joiners.
+
+*Failure / partition* — heartbeat suspicions trigger view changes by the
+lowest-ranked surviving member.  Each side of a partition installs its own
+view and continues (partition-tolerant variant; see package docstring).
+Stale processes are shunned by view-id/epoch checks and must rejoin.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Protocol
+
+from repro.errors import GroupNotFound, NotMember, RpcTimeout
+from repro.isis.failure_detector import FailureDetector
+from repro.isis.vector_clock import VectorClock
+from repro.isis.view import View
+from repro.net import Network, Node, RpcRemoteError
+from repro.net.message import Message
+from repro.sim import SimFuture, SimTimeoutError
+from repro.sim.sync import Lock
+
+JOIN_TIMEOUT_MS = 1000.0
+FLUSH_TIMEOUT_MS = 400.0
+LOCATE_TIMEOUT_MS = 150.0
+REPLY_TIMEOUT_MS = 400.0
+
+
+class GroupApp(Protocol):
+    """Callbacks the application layers provide to the group layer."""
+
+    async def deliver(self, group: str, sender: str, payload: Any) -> Any:
+        """Handle one group multicast; the return value is the reply."""
+        ...
+
+    def view_change(self, group: str, view: View, joined: list[str], left: list[str]) -> None:
+        """Notification that a new view was installed."""
+        ...
+
+    def get_group_state(self, group: str) -> Any:
+        """Snapshot application state for transfer to a joiner."""
+        ...
+
+    def set_group_state(self, group: str, state: Any) -> None:
+        """Install transferred state on a joiner."""
+        ...
+
+
+class _GroupState:
+    """Per-group bookkeeping at one member."""
+
+    __slots__ = (
+        "view", "vc", "pending", "log", "flushing", "flush_waiters",
+        "ahead", "change_lock",
+    )
+
+    def __init__(self, view: View, kernel):
+        self.view = view
+        self.vc = VectorClock()
+        self.pending: list[dict] = []      # received, not yet deliverable
+        self.log: dict[tuple[str, int], dict] = {}  # seen this view (flush)
+        self.flushing = False
+        self.flush_waiters: list[SimFuture] = []
+        self.ahead: list[dict] = []        # messages stamped with a future view
+        self.change_lock = Lock(kernel)    # serializes view changes (coordinator)
+
+
+class IsisProcess(Node):
+    """A Node speaking the group protocols, hosting one :class:`GroupApp`."""
+
+    def __init__(
+        self,
+        network: Network,
+        addr: str,
+        cell_peers: list[str] | None = None,
+        fd_interval_ms: float = 50.0,
+        fd_timeout_ms: float = 200.0,
+    ):
+        super().__init__(network, addr)
+        self.app: GroupApp | None = None
+        self.groups: dict[str, _GroupState] = {}
+        self._collectors: dict[int, dict] = {}
+        self._collector_ids = itertools.count(1)
+        self._join_waits: dict[str, SimFuture] = {}
+        self.cell_peers = list(cell_peers or [])
+        self.fd = FailureDetector(self, self.cell_peers, fd_interval_ms, fd_timeout_ms)
+        self.fd.subscribe(on_suspect=self._on_peer_suspected)
+        self._register_isis_handlers()
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def set_app(self, app: GroupApp) -> None:
+        """Attach the application (must precede group activity)."""
+        self.app = app
+
+    def start(self) -> None:
+        """Start failure detection (call once the roster is final)."""
+        self.fd.start()
+
+    def set_cell_peers(self, peers: list[str]) -> None:
+        """Define the cell roster used for heartbeats and group location."""
+        self.cell_peers = [p for p in peers if p != self.addr]
+        for p in self.cell_peers:
+            self.fd.add_peer(p)
+
+    def _register_isis_handlers(self) -> None:
+        self.register_handler("isis_locate", self._h_locate)
+        self.register_handler("isis_join_req", self._h_join_req)
+        self.register_handler("isis_leave_req", self._h_leave_req)
+        self.register_handler("isis_flush", self._h_flush)
+        self.register_handler("isis_install", self._h_install)
+        self.register_handler("isis_abc_fwd", self._h_abc_fwd)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def on_crash(self) -> None:
+        """Volatile group state dies with the process (§3.5: only replica
+        data, token state, and the handle map are non-volatile)."""
+        self.groups.clear()
+        self._collectors.clear()
+        for fut in self._join_waits.values():
+            fut.try_set_exception(GroupNotFound("crashed while joining"))
+        self._join_waits.clear()
+        self.fd.stop()
+
+    def on_recover(self) -> None:
+        self.fd.start()
+
+    # ------------------------------------------------------------------ #
+    # membership API
+    # ------------------------------------------------------------------ #
+
+    def create_group(self, group: str) -> View:
+        """Found a new group with this process as sole member."""
+        if group in self.groups:
+            raise ValueError(f"{self.addr} already in group {group}")
+        view = View(group, 1, (self.addr,))
+        self.groups[group] = _GroupState(view, self.kernel)
+        self.network.metrics.incr("isis.groups_created")
+        if self.app:
+            self.app.view_change(group, view, [self.addr], [])
+        return view
+
+    async def join_group(self, group: str, contact: str | None = None,
+                         timeout: float = JOIN_TIMEOUT_MS) -> View:
+        """Join ``group``; locates a member if no ``contact`` is given.
+
+        Blocks until the new view (including us) is installed here, state
+        transfer included.  Raises :class:`GroupNotFound` if no member can
+        be located within the cell.
+        """
+        if group in self.groups:
+            return self.groups[group].view
+        self.network.metrics.incr("isis.joins")
+        if contact is None:
+            contact = await self.locate_group(group)
+        wait = self.kernel.create_future()
+        self._join_waits[group] = wait
+        try:
+            await self.call(contact, "isis_join_req", timeout=timeout,
+                            group=group, joiner=self.addr, tag="isis_join")
+            await self.kernel.wait_for(wait, timeout)
+        except (RpcTimeout, SimTimeoutError) as exc:
+            raise GroupNotFound(f"join {group} via {contact} failed: {exc}") from exc
+        finally:
+            self._join_waits.pop(group, None)
+        return self.groups[group].view
+
+    async def leave_group(self, group: str) -> None:
+        """Leave gracefully (coordinator runs the view change)."""
+        state = self.groups.get(group)
+        if state is None:
+            return
+        coord = state.view.coordinator
+        if coord == self.addr:
+            await self._run_view_change(group, leaving={self.addr}, joining=())
+            self.groups.pop(group, None)
+        else:
+            try:
+                await self.call(coord, "isis_leave_req", group=group,
+                                leaver=self.addr, tag="isis_leave")
+            except (RpcTimeout, RpcRemoteError):
+                pass  # coordinator will discover via FD; we just forget
+            self.groups.pop(group, None)
+
+    def members(self, group: str) -> tuple[str, ...]:
+        """Current view membership (empty tuple if not a member)."""
+        state = self.groups.get(group)
+        return state.view.members if state else ()
+
+    def current_view(self, group: str) -> View | None:
+        """Installed view, or ``None`` when not a member."""
+        state = self.groups.get(group)
+        return state.view if state else None
+
+    def is_member(self, group: str) -> bool:
+        """Whether this process currently belongs to ``group``."""
+        return group in self.groups
+
+    def group_names(self) -> list[str]:
+        """Names of all groups this process belongs to."""
+        return sorted(self.groups)
+
+    async def locate_group(self, group: str) -> str:
+        """Find any member of ``group`` by querying the cell roster.
+
+        This is the "global search" of §3.2 — expensive (one round to every
+        cell peer) and deliberately confined to the cell.
+        """
+        self.network.metrics.incr("isis.locates")
+        if group in self.groups:
+            return self.addr
+        futures = [
+            self.rpc(peer, "isis_locate", {"group": group},
+                     timeout=LOCATE_TIMEOUT_MS, tag="isis_locate")
+            for peer in self.cell_peers
+        ]
+        found: str | None = None
+        for fut in futures:
+            try:
+                answer = await fut
+            except (RpcTimeout, RpcRemoteError):
+                continue
+            if answer and found is None:
+                found = answer["member"]
+        if found is None:
+            raise GroupNotFound(f"no member of {group} in cell")
+        return found
+
+    # ------------------------------------------------------------------ #
+    # multicast API
+    # ------------------------------------------------------------------ #
+
+    async def cbcast(
+        self,
+        group: str,
+        payload: Any,
+        nreplies: int | str = 0,
+        timeout: float = REPLY_TIMEOUT_MS,
+        size_bytes: int = 512,
+        tag: str = "cbcast",
+        on_audit=None,
+        audit_timeout: float | None = None,
+    ) -> list[tuple[str, Any]]:
+        """Causally ordered multicast; collect the first ``nreplies`` replies.
+
+        ``nreplies=0`` returns immediately after sending; ``nreplies="all"``
+        waits for every current member (or the timeout).  Returns
+        ``[(member, reply_value), ...]`` in arrival order — the caller
+        counts them (Deceit's replica-loss detection does exactly this).
+
+        ``on_audit`` keeps the reply collector alive after the early return
+        and calls ``on_audit(all_replies)`` once ``audit_timeout`` (default:
+        ``timeout``) has elapsed — this is how Deceit's token holder returns
+        to the client after the first *s* replies yet still counts the full
+        reply set to detect lost replicas (§3.1 method 1).
+        """
+        state = self.groups.get(group)
+        if state is None:
+            raise NotMember(f"{self.addr} not in {group}")
+        await self._wait_not_flushing(state)
+        view = state.view
+        want = len(view.members) if nreplies == "all" else int(nreplies)
+        req_id = None
+        collector_fut: SimFuture | None = None
+        if want > 0 or on_audit is not None:
+            req_id = next(self._collector_ids)
+            collector_fut = self.kernel.create_future()
+            if want == 0:
+                collector_fut.set_result(None)  # early return is immediate
+            self._collectors[req_id] = {
+                "fut": collector_fut, "replies": [], "want": want or len(view.members),
+            }
+        vc = state.vc.copy()
+        vc.increment(self.addr)
+        msg = {
+            "type": "mcast",
+            "group": group,
+            "view_id": view.view_id,
+            "sender": self.addr,
+            "seq": vc.get(self.addr),
+            "vc": vc.as_dict(),
+            "payload": payload,
+            "reply_req": req_id,
+            "origin": self.addr,
+        }
+        self.network.metrics.incr("isis.mcasts")
+        for member in view.members:
+            if member != self.addr:
+                self.send(member, msg, size_bytes=size_bytes, tag=tag)
+        # Local copy delivers immediately (we are causally up to date).
+        self._deliver_mcast(state, msg)
+        if collector_fut is None:
+            return []
+        if not collector_fut.done():
+            try:
+                await self.kernel.wait_for(collector_fut, timeout)
+            except SimTimeoutError:
+                pass  # return whatever arrived; caller counts correct replies
+        if on_audit is None:
+            record = self._collectors.pop(req_id, None)
+            return list(record["replies"]) if record else []
+        # keep collecting in the background, then hand the full set to the audit
+        early = list(self._collectors[req_id]["replies"])
+
+        def _finish_audit() -> None:
+            record = self._collectors.pop(req_id, None)
+            if record is not None:
+                on_audit(list(record["replies"]))
+
+        self.kernel.schedule(audit_timeout or timeout, _finish_audit)
+        return early
+
+    async def abcast(
+        self,
+        group: str,
+        payload: Any,
+        nreplies: int | str = 0,
+        timeout: float = REPLY_TIMEOUT_MS,
+        size_bytes: int = 512,
+        tag: str = "abcast",
+    ) -> list[tuple[str, Any]]:
+        """Totally ordered multicast via the coordinator-sequencer."""
+        state = self.groups.get(group)
+        if state is None:
+            raise NotMember(f"{self.addr} not in {group}")
+        coord = state.view.coordinator
+        if coord == self.addr:
+            return await self.cbcast(group, payload, nreplies=nreplies,
+                                     timeout=timeout, size_bytes=size_bytes, tag=tag)
+        # Forward to sequencer; replies still flow directly to us.
+        want = len(state.view.members) if nreplies == "all" else int(nreplies)
+        req_id = None
+        collector_fut = None
+        if want > 0:
+            req_id = next(self._collector_ids)
+            collector_fut = self.kernel.create_future()
+            self._collectors[req_id] = {"fut": collector_fut, "replies": [], "want": want}
+        self.network.metrics.incr("isis.abcast_forwards")
+        await self.call(coord, "isis_abc_fwd", group=group, payload=payload,
+                        reply_req=req_id, origin=self.addr,
+                        size_bytes=size_bytes, tag=tag, timeout=timeout)
+        if collector_fut is None:
+            return []
+        try:
+            await self.kernel.wait_for(collector_fut, timeout)
+        except SimTimeoutError:
+            pass
+        record = self._collectors.pop(req_id, None)
+        return list(record["replies"]) if record else []
+
+    def _wait_not_flushing(self, state: _GroupState) -> SimFuture:
+        fut = self.kernel.create_future()
+        if not state.flushing:
+            fut.set_result(None)
+        else:
+            state.flush_waiters.append(fut)
+        return fut
+
+    # ------------------------------------------------------------------ #
+    # multicast receive path
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, msg: Message) -> None:
+        self.fd.observe(msg)
+        payload = msg.payload
+        if not isinstance(payload, dict):
+            return
+        kind = payload.get("type")
+        if kind == "mcast":
+            self._on_mcast(payload)
+        elif kind == "mreply":
+            self._on_mreply(payload)
+        # heartbeats already consumed by fd.observe
+
+    def _on_mcast(self, msg: dict) -> None:
+        group = msg["group"]
+        state = self.groups.get(group)
+        if state is None:
+            return  # not a member (stale sender view) — shun
+        if msg["view_id"] < state.view.view_id:
+            self.network.metrics.incr("isis.stale_mcasts")
+            return
+        if msg["view_id"] > state.view.view_id:
+            state.ahead.append(msg)  # install in flight; hold
+            return
+        key = (msg["sender"], msg["seq"])
+        if key in state.log:
+            return  # duplicate (flush re-delivery overlap)
+        state.log[key] = msg
+        self._try_deliveries(state, msg)
+
+    def _try_deliveries(self, state: _GroupState, new_msg: dict | None) -> None:
+        if new_msg is not None:
+            state.pending.append(new_msg)
+        progress = True
+        while progress:
+            progress = False
+            for queued in list(state.pending):
+                msg_vc = VectorClock(queued["vc"])
+                if state.vc.deliverable_from(queued["sender"], msg_vc):
+                    state.pending.remove(queued)
+                    self._deliver_mcast(state, queued)
+                    progress = True
+
+    def _deliver_mcast(self, state: _GroupState, msg: dict) -> None:
+        state.vc.clock[msg["sender"]] = msg["seq"]
+        state.log[(msg["sender"], msg["seq"])] = msg
+        self.network.metrics.incr("isis.deliveries")
+        if self.app is None:
+            return
+        self.spawn(self._apply_and_reply(msg), name=f"{self.addr}:deliver")
+
+    async def _apply_and_reply(self, msg: dict) -> None:
+        payload = msg["payload"]
+        sender = msg["sender"]
+        # abcast wrapping: the sequencer forwards on behalf of the origin
+        if isinstance(payload, dict) and payload.get("_abc_origin"):
+            sender = payload["_abc_origin"]
+            payload = payload["_abc_payload"]
+        try:
+            value = await self.app.deliver(msg["group"], sender, payload)
+        except Exception as exc:
+            value = {"_error": f"{type(exc).__name__}: {exc}"}
+        req_id = msg.get("reply_req")
+        if req_id is not None:
+            reply = {"type": "mreply", "req_id": req_id,
+                     "member": self.addr, "value": value}
+            origin = msg.get("origin", msg["sender"])
+            if origin == self.addr:
+                self._on_mreply(reply)
+            else:
+                self.send(origin, reply, size_bytes=128, tag="mreply")
+
+    def _on_mreply(self, payload: dict) -> None:
+        record = self._collectors.get(payload["req_id"])
+        if record is None:
+            return  # late reply after collection closed
+        record["replies"].append((payload["member"], payload["value"]))
+        if len(record["replies"]) >= record["want"]:
+            record["fut"].try_set_result(None)
+
+    # ------------------------------------------------------------------ #
+    # RPC handlers (membership machinery)
+    # ------------------------------------------------------------------ #
+
+    async def _h_locate(self, src: str, group: str) -> dict | None:
+        if group in self.groups:
+            view = self.groups[group].view
+            return {"member": self.addr,
+                    "coordinator": view.coordinator,
+                    "view_id": view.view_id,
+                    "members": list(view.members)}
+        return None
+
+    async def _h_join_req(self, src: str, group: str, joiner: str) -> dict:
+        state = self.groups.get(group)
+        if state is None:
+            raise GroupNotFound(f"{self.addr} not in {group}")
+        coord = state.view.coordinator
+        if coord != self.addr:
+            # forward to the coordinator on the joiner's behalf
+            return await self.call(coord, "isis_join_req", group=group,
+                                   joiner=joiner, tag="isis_join")
+        await self._run_view_change(group, leaving=set(), joining=(joiner,))
+        return {"view_id": self.groups[group].view.view_id}
+
+    async def _h_leave_req(self, src: str, group: str, leaver: str) -> dict:
+        state = self.groups.get(group)
+        if state is None:
+            raise GroupNotFound(f"{self.addr} not in {group}")
+        if state.view.coordinator != self.addr:
+            return await self.call(state.view.coordinator, "isis_leave_req",
+                                   group=group, leaver=leaver, tag="isis_leave")
+        await self._run_view_change(group, leaving={leaver}, joining=())
+        return {"ok": True}
+
+    async def _h_flush(self, src: str, group: str, view_id: int) -> dict:
+        state = self.groups.get(group)
+        if state is None or state.view.view_id != view_id:
+            raise NotMember(f"flush for unknown/stale view {group}#{view_id}")
+        state.flushing = True
+        return {"log": list(state.log.values()), "vc": state.vc.as_dict()}
+
+    async def _h_install(self, src: str, group: str, view_id: int,
+                         members: list[str], log: list[dict],
+                         state_snapshot: Any = None,
+                         joined: list[str] | None = None,
+                         left: list[str] | None = None) -> dict:
+        self._install_view(group, view_id, members, log, state_snapshot,
+                           joined or [], left or [])
+        return {"ok": True}
+
+    async def _h_abc_fwd(self, src: str, group: str, payload: Any,
+                         reply_req: int | None, origin: str) -> dict:
+        state = self.groups.get(group)
+        if state is None:
+            raise NotMember(f"{self.addr} not in {group}")
+        if state.view.coordinator != self.addr:
+            # coordinator moved; forward along
+            return await self.call(state.view.coordinator, "isis_abc_fwd",
+                                   group=group, payload=payload,
+                                   reply_req=reply_req, origin=origin)
+        wrapped = {"_abc_origin": origin, "_abc_payload": payload}
+        await self._wait_not_flushing(state)
+        view = state.view
+        vc = state.vc.copy()
+        vc.increment(self.addr)
+        msg = {
+            "type": "mcast", "group": group, "view_id": view.view_id,
+            "sender": self.addr, "seq": vc.get(self.addr),
+            "vc": vc.as_dict(), "payload": wrapped,
+            "reply_req": reply_req, "origin": origin,
+        }
+        self.network.metrics.incr("isis.mcasts")
+        for member in view.members:
+            if member != self.addr:
+                self.send(member, msg, size_bytes=512, tag="abcast")
+        self._deliver_mcast(state, msg)
+        return {"sequenced": True}
+
+    # ------------------------------------------------------------------ #
+    # view change engine (runs at the coordinator)
+    # ------------------------------------------------------------------ #
+
+    async def _run_view_change(self, group: str, leaving: set[str],
+                               joining: tuple[str, ...]) -> None:
+        state = self.groups.get(group)
+        if state is None:
+            return
+        await state.change_lock.acquire()
+        try:
+            state = self.groups.get(group)
+            if state is None:
+                return
+            leaving = set(leaving) & set(state.view.members)
+            joining = tuple(j for j in joining if j not in state.view.members)
+            if not leaving and not joining:
+                return
+            self.network.metrics.incr("isis.view_changes")
+            old_view = state.view
+            # 1. flush survivors (they pause sends and surrender logs).
+            # RPCs are retried: one lost datagram must not evict a healthy
+            # member (ISIS retransmits under its reliable transport).
+            state.flushing = True
+            survivors = [m for m in old_view.members
+                         if m not in leaving and m != self.addr]
+            merged: dict[tuple[str, int], dict] = dict(state.log)
+            failed_during_flush: set[str] = set()
+            for member in survivors:
+                ack = None
+                for _attempt in range(3):
+                    try:
+                        ack = await self.call(
+                            member, "isis_flush", group=group,
+                            view_id=old_view.view_id,
+                            timeout=FLUSH_TIMEOUT_MS, tag="isis_flush")
+                        break
+                    except (RpcTimeout, RpcRemoteError):
+                        continue
+                if ack is None:
+                    failed_during_flush.add(member)
+                    continue
+                for entry in ack["log"]:
+                    merged.setdefault((entry["sender"], entry["seq"]), entry)
+            leaving |= failed_during_flush
+            new_view = old_view.successor(leaving, joining)
+            # 2. app state for joiners
+            snapshot = None
+            if joining and self.app is not None:
+                snapshot = self.app.get_group_state(group)
+            # 3. install everywhere (joiners too)
+            merged_list = list(merged.values())
+            joined_list = list(joining)
+            left_list = sorted(leaving)
+
+            async def _install_at(member: str) -> None:
+                is_joiner = member in joining
+                args = {"group": group, "view_id": new_view.view_id,
+                        "members": list(new_view.members),
+                        "log": [] if is_joiner else merged_list,
+                        "state_snapshot": snapshot if is_joiner else None,
+                        "joined": joined_list, "left": left_list}
+                for _attempt in range(3):
+                    try:
+                        await self.rpc(member, "isis_install", args,
+                                       timeout=FLUSH_TIMEOUT_MS,
+                                       size_bytes=1024, tag="isis_install")
+                        return
+                    except (RpcTimeout, RpcRemoteError):
+                        continue  # retried; a dead member is the FD's problem
+
+            install_tasks = [
+                self.spawn(_install_at(m), name=f"{self.addr}:install:{m}")
+                for m in new_view.members if m != self.addr
+            ]
+            for task in install_tasks:
+                await task
+            # 4. install locally
+            self._install_view(group, new_view.view_id, list(new_view.members),
+                               merged_list, None, joined_list, left_list)
+        finally:
+            state.change_lock.release()
+
+    def _install_view(self, group: str, view_id: int, members: list[str],
+                      log: list[dict], state_snapshot: Any,
+                      joined: list[str], left: list[str]) -> None:
+        state = self.groups.get(group)
+        is_joiner = state is None
+        if state is not None and view_id <= state.view.view_id:
+            return  # stale install
+        view = View(group, view_id, tuple(members))
+        if is_joiner:
+            state = _GroupState(view, self.kernel)
+            self.groups[group] = state
+            if state_snapshot is not None and self.app is not None:
+                self.app.set_group_state(group, state_snapshot)
+        else:
+            # virtual synchrony: deliver everything from the merged log that
+            # we have not yet delivered, in causal order where possible
+            self._drain_log(state, log)
+            state.view = view
+        state.vc = VectorClock()
+        state.pending.clear()
+        state.log.clear()
+        state.flushing = False
+        waiters, state.flush_waiters = state.flush_waiters, []
+        for fut in waiters:
+            fut.try_set_result(None)
+        ahead, state.ahead = state.ahead, []
+        state.view = view
+        if self.app is not None:
+            self.app.view_change(group, view, joined, left)
+        # wake a local joiner blocked in join_group()
+        wait = self._join_waits.get(group)
+        if wait is not None:
+            wait.try_set_result(None)
+        # process messages that arrived stamped with this (then-future) view
+        for msg in ahead:
+            self._on_mcast(msg)
+
+    def _drain_log(self, state: _GroupState, merged_log: list[dict]) -> None:
+        for entry in merged_log:
+            key = (entry["sender"], entry["seq"])
+            if key not in state.log:
+                state.log[key] = entry
+                state.pending.append(entry)
+        self._try_deliveries(state, None)
+        # Anything still pending has causal predecessors no survivor saw;
+        # force-deliver deterministically so all members agree.
+        leftovers = sorted(state.pending, key=lambda m: (m["sender"], m["seq"]))
+        state.pending.clear()
+        for msg in leftovers:
+            already = state.vc.get(msg["sender"]) >= msg["seq"]
+            if not already:
+                self._deliver_mcast(state, msg)
+
+    # ------------------------------------------------------------------ #
+    # failure handling
+    # ------------------------------------------------------------------ #
+
+    def _on_peer_suspected(self, peer: str) -> None:
+        for group, state in list(self.groups.items()):
+            view = state.view
+            if peer not in view.members:
+                continue
+            survivors = [m for m in view.members if not self.fd.is_suspected(m)]
+            if survivors and survivors[0] == self.addr:
+                suspects = {m for m in view.members if self.fd.is_suspected(m)}
+                self.spawn(
+                    self._run_view_change(group, leaving=suspects, joining=()),
+                    name=f"{self.addr}:vchange:{group}",
+                )

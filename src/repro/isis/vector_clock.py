@@ -1,0 +1,71 @@
+"""Vector clocks for causal multicast delivery order."""
+
+from __future__ import annotations
+
+
+class VectorClock:
+    """Map from process address to per-sender sequence count.
+
+    Used per group: entry ``vc[p]`` is the number of multicasts from sender
+    ``p`` delivered (or, on a message, sent) in the current view.  Absent
+    entries read as zero, so clocks over different member sets compare
+    cleanly.
+    """
+
+    __slots__ = ("clock",)
+
+    def __init__(self, clock: dict[str, int] | None = None):
+        self.clock = dict(clock) if clock else {}
+
+    def get(self, addr: str) -> int:
+        """Current count for ``addr`` (0 if absent)."""
+        return self.clock.get(addr, 0)
+
+    def increment(self, addr: str) -> None:
+        """Advance ``addr``'s entry by one."""
+        self.clock[addr] = self.clock.get(addr, 0) + 1
+
+    def copy(self) -> "VectorClock":
+        """Independent copy."""
+        return VectorClock(self.clock)
+
+    def merge(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place."""
+        for addr, count in other.clock.items():
+            if count > self.clock.get(addr, 0):
+                self.clock[addr] = count
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when ``self`` ≥ ``other`` pointwise."""
+        return all(self.get(a) >= c for a, c in other.clock.items())
+
+    def deliverable_from(self, sender: str, msg_vc: "VectorClock") -> bool:
+        """Birman-Schiper-Stephenson delivery condition.
+
+        A message from ``sender`` stamped ``msg_vc`` is deliverable at a
+        process with clock ``self`` iff it is the next message from that
+        sender (``msg_vc[sender] == self[sender] + 1``) and every message
+        causally before it has been delivered (``msg_vc[t] <= self[t]`` for
+        all other ``t``).
+        """
+        if msg_vc.get(sender) != self.get(sender) + 1:
+            return False
+        return all(
+            count <= self.get(addr)
+            for addr, count in msg_vc.clock.items()
+            if addr != sender
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (for message payloads)."""
+        return dict(self.clock)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        keys = set(self.clock) | set(other.clock)
+        return all(self.get(k) == other.get(k) for k in keys)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a}:{c}" for a, c in sorted(self.clock.items()))
+        return f"VC({inner})"

@@ -1,0 +1,108 @@
+"""Instrumentation: message, round, and latency accounting.
+
+Every benchmark in ``benchmarks/`` reports quantities the paper's claims are
+about — messages per update, communication rounds per operation, virtual-time
+latencies — rather than wall-clock numbers the paper never published.  This
+module is the single place those counters live.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a series of virtual-time latencies."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = 0.0
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        """Add one latency sample."""
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+
+class Metrics:
+    """A hierarchical counter/latency registry.
+
+    Components increment named counters (``metrics.incr("net.msgs")``) and
+    record latencies (``metrics.latency("nfs.read").record(dt)``).  Counters
+    are plain integers; reading an absent counter yields zero.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self._latencies: dict[str, LatencyStats] = defaultdict(LatencyStats)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Read counter ``name`` (0 if never incremented)."""
+        return self.counters[name]
+
+    def latency(self, name: str) -> LatencyStats:
+        """Return (creating if needed) the latency series ``name``."""
+        return self._latencies[name]
+
+    def latencies(self) -> dict[str, LatencyStats]:
+        """All latency series recorded so far."""
+        return dict(self._latencies)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all counters (for before/after deltas in benchmarks)."""
+        return dict(self.counters)
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter changes since ``before`` (zero-change keys omitted)."""
+        out: dict[str, int] = {}
+        for key in set(self.counters) | set(before):
+            change = self.counters[key] - before.get(key, 0)
+            if change:
+                out[key] = change
+        return out
+
+    def reset(self) -> None:
+        """Clear all counters and latency series."""
+        self.counters.clear()
+        self._latencies.clear()
+
+    def report(self, prefix: str = "") -> str:
+        """Human-readable dump, optionally filtered by counter prefix."""
+        lines = []
+        for name in sorted(self.counters):
+            if name.startswith(prefix):
+                lines.append(f"{name:<40s} {self.counters[name]}")
+        for name in sorted(self._latencies):
+            if name.startswith(prefix):
+                stats = self._latencies[name]
+                lines.append(
+                    f"{name:<40s} n={stats.count} mean={stats.mean:.3f} "
+                    f"p50={stats.percentile(50):.3f} p99={stats.percentile(99):.3f} "
+                    f"max={stats.maximum:.3f}"
+                )
+        return "\n".join(lines)

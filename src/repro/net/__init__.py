@@ -1,0 +1,32 @@
+"""Simulated network: nodes, datagrams, RPC, latency, loss, and partitions.
+
+This package substitutes for the Ethernet + SunRPC transport of the original
+Deceit deployment.  It preserves the properties the paper's design assumes
+(§2.3): symmetric communication, message loss, crashes without notification,
+and long-term network partitions.
+
+Key classes:
+
+- :class:`~repro.net.network.Network` — the shared medium; owns latency,
+  drop, and partition state.
+- :class:`~repro.net.network.Node` — base class for anything with an
+  address; provides datagrams, RPC with timeouts, crash/recover.
+- :class:`~repro.net.latency.LatencyModel` implementations — constant,
+  uniform-jitter, and a LAN/WAN profile used by the cell experiments.
+"""
+
+from repro.net.latency import ConstantLatency, LanWanLatency, LatencyModel, UniformLatency
+from repro.net.message import Message, MsgKind
+from repro.net.network import Network, Node, RpcRemoteError
+
+__all__ = [
+    "ConstantLatency",
+    "LanWanLatency",
+    "LatencyModel",
+    "Message",
+    "MsgKind",
+    "Network",
+    "Node",
+    "RpcRemoteError",
+    "UniformLatency",
+]

@@ -1,0 +1,89 @@
+"""Latency models for the simulated network.
+
+Latencies are in *milliseconds* of virtual time throughout the repository.
+The default profile approximates a late-1980s departmental Ethernet: ~2 ms
+per small datagram, with bulk data charged per byte on top (the "blast"
+file-transfer path of §3.1 exercises this).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+
+class LatencyModel(Protocol):
+    """Strategy interface: virtual-time delay for one message."""
+
+    def delay(self, src: str, dst: str, size_bytes: int, rng: random.Random) -> float:
+        """Return the in-flight time for a message of ``size_bytes``."""
+        ...
+
+
+class ConstantLatency:
+    """Fixed per-message latency plus a per-byte charge.
+
+    ``per_byte`` defaults to 10 MB/s-equivalent (1e-4 ms/byte), so a 8 KB
+    NFS-sized block adds ~0.8 ms — bulk transfers dominate small RPCs, as on
+    the paper's hardware.
+    """
+
+    def __init__(self, base_ms: float = 2.0, per_byte_ms: float = 1e-4):
+        self.base_ms = base_ms
+        self.per_byte_ms = per_byte_ms
+
+    def delay(self, src: str, dst: str, size_bytes: int, rng: random.Random) -> float:
+        return self.base_ms + size_bytes * self.per_byte_ms
+
+
+class UniformLatency:
+    """Latency uniformly distributed in ``[low_ms, high_ms]`` plus bytes.
+
+    Jitter matters for the ordering protocols: with non-constant latency,
+    concurrently sent messages genuinely race, which exercises the ISIS
+    delivery-ordering machinery rather than letting FIFO fall out of the
+    simulation by accident.
+    """
+
+    def __init__(self, low_ms: float = 1.0, high_ms: float = 4.0, per_byte_ms: float = 1e-4):
+        if low_ms > high_ms:
+            raise ValueError("low_ms must not exceed high_ms")
+        self.low_ms = low_ms
+        self.high_ms = high_ms
+        self.per_byte_ms = per_byte_ms
+
+    def delay(self, src: str, dst: str, size_bytes: int, rng: random.Random) -> float:
+        return rng.uniform(self.low_ms, self.high_ms) + size_bytes * self.per_byte_ms
+
+
+class LanWanLatency:
+    """Two-tier profile: cheap within a site cluster, expensive across.
+
+    Node addresses are dotted like the paper's ``foo.cs.mit.edu``: the
+    first label is the site, so ``mit.s0`` and ``mit.s1`` talk over the
+    LAN while ``mit.s0`` → ``cornell.s0`` pays the WAN latency.  Used by
+    the cell experiments (F3), where cells map onto ISIS site clusters
+    (§2.2).
+    """
+
+    def __init__(
+        self,
+        lan_ms: float = 2.0,
+        wan_ms: float = 40.0,
+        per_byte_lan_ms: float = 1e-4,
+        per_byte_wan_ms: float = 1e-3,
+    ):
+        self.lan_ms = lan_ms
+        self.wan_ms = wan_ms
+        self.per_byte_lan_ms = per_byte_lan_ms
+        self.per_byte_wan_ms = per_byte_wan_ms
+
+    @staticmethod
+    def site_of(addr: str) -> str:
+        """Site prefix of an address (the first dotted label)."""
+        return addr.split(".", 1)[0]
+
+    def delay(self, src: str, dst: str, size_bytes: int, rng: random.Random) -> float:
+        if self.site_of(src) == self.site_of(dst):
+            return self.lan_ms + size_bytes * self.per_byte_lan_ms
+        return self.wan_ms + size_bytes * self.per_byte_wan_ms

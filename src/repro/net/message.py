@@ -1,0 +1,44 @@
+"""Message envelope for the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+_msg_ids = itertools.count(1)
+
+
+class MsgKind(Enum):
+    """Transport-level message categories."""
+
+    DATAGRAM = "dgram"
+    RPC_REQUEST = "rpc_req"
+    RPC_REPLY = "rpc_reply"
+    STREAM = "stream"  # bulk data (blast file transfer)
+
+
+@dataclass
+class Message:
+    """One message in flight on the simulated network.
+
+    ``size_bytes`` feeds the latency model (bulk transfers cost more);
+    ``tag`` is a free-form category string used only for metrics so
+    benchmarks can break message counts down by protocol purpose
+    (e.g. ``"update"``, ``"token_request"``, ``"stability"``).
+    """
+
+    src: str
+    dst: str
+    kind: MsgKind
+    payload: Any
+    size_bytes: int = 256
+    tag: str = ""
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __repr__(self) -> str:  # compact for traces
+        return (
+            f"Message(#{self.msg_id} {self.src}->{self.dst} "
+            f"{self.kind.value}{'/' + self.tag if self.tag else ''})"
+        )

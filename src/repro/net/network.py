@@ -1,0 +1,336 @@
+"""The shared network medium and the addressable-node base class.
+
+Failure model (paper §2.3): machines crash without notification, messages
+may be lost in transit, and the network may partition for long periods.
+Communication is symmetric — if ``a`` can reach ``b`` then ``b`` can reach
+``a`` — which the partition representation guarantees by construction
+(partitions are disjoint address sets).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable
+
+from repro.errors import RpcTimeout, Unreachable
+from repro.metrics import Metrics
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message, MsgKind
+from repro.sim import Kernel, SimFuture, SimTimeoutError
+
+DEFAULT_RPC_TIMEOUT_MS = 200.0
+
+
+class RpcRemoteError(Exception):
+    """An RPC handler raised on the remote side; carries the message text."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.remote_message = message
+
+
+class Network:
+    """Simulated broadcast medium connecting :class:`Node` instances.
+
+    One instance per simulation.  Owns the latency model, the drop
+    probability, and the current partition.  All sends funnel through
+    :meth:`transmit`, which is also where message metrics are counted.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+        metrics: Metrics | None = None,
+    ):
+        self.kernel = kernel
+        self.latency = latency or ConstantLatency()
+        self.drop_probability = drop_probability
+        self.rng = random.Random(seed)
+        self.metrics = metrics or Metrics()
+        self.nodes: dict[str, Node] = {}
+        self._partition_of: dict[str, int] = {}  # addr -> group id; absent = group 0
+        self._partitioned = False
+        self.trace: list[Message] | None = None  # set to [] to record all sends
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+
+    def register(self, node: "Node") -> None:
+        """Attach a node to the medium (addresses must be unique)."""
+        if node.addr in self.nodes:
+            raise ValueError(f"duplicate address {node.addr!r}")
+        self.nodes[node.addr] = node
+
+    def node(self, addr: str) -> "Node":
+        """Look up a node by address."""
+        return self.nodes[addr]
+
+    # ------------------------------------------------------------------ #
+    # partitions
+    # ------------------------------------------------------------------ #
+
+    def partition(self, groups: list[set[str]]) -> None:
+        """Split the network into the given disjoint address groups.
+
+        Addresses not mentioned in any group form one implicit extra group.
+        Messages cross group boundaries only after :meth:`heal`.
+        """
+        seen: set[str] = set()
+        for group in groups:
+            overlap = seen & group
+            if overlap:
+                raise ValueError(f"addresses in two partitions: {overlap}")
+            seen |= group
+        self._partition_of = {}
+        for gid, group in enumerate(groups, start=1):
+            for addr in group:
+                self._partition_of[addr] = gid
+        self._partitioned = True
+        self.metrics.incr("net.partitions")
+
+    def heal(self) -> None:
+        """Remove the partition; full connectivity resumes."""
+        self._partition_of = {}
+        self._partitioned = False
+        self.metrics.incr("net.heals")
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether a partition is currently in force."""
+        return self._partitioned
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True when a message sent now from ``src`` would reach ``dst``.
+
+        Requires both endpoints alive and in the same partition group.
+        Symmetric by construction.
+        """
+        a = self.nodes.get(src)
+        b = self.nodes.get(dst)
+        if a is None or b is None or not a.alive or not b.alive:
+            return False
+        return self._partition_of.get(src, 0) == self._partition_of.get(dst, 0)
+
+    # ------------------------------------------------------------------ #
+    # transmission
+    # ------------------------------------------------------------------ #
+
+    def transmit(self, msg: Message) -> None:
+        """Send ``msg``; it is delivered, dropped, or silently lost to a
+        partition after the modeled latency."""
+        self.metrics.incr("net.msgs")
+        self.metrics.incr(f"net.msgs.{msg.kind.value}")
+        if msg.tag:
+            self.metrics.incr(f"net.msgs.tag.{msg.tag}")
+        self.metrics.incr("net.bytes", msg.size_bytes)
+        if self.trace is not None:
+            self.trace.append(msg)
+        if self.drop_probability and self.rng.random() < self.drop_probability:
+            self.metrics.incr("net.dropped")
+            return
+        delay = self.latency.delay(msg.src, msg.dst, msg.size_bytes, self.rng)
+        self.kernel.schedule(delay, self._arrive, msg)
+
+    def _arrive(self, msg: Message) -> None:
+        # Reachability is evaluated at arrival time: a partition or crash
+        # occurring while the message is in flight loses the message, which
+        # matches datagram semantics.
+        if not self.reachable(msg.src, msg.dst):
+            self.metrics.incr("net.lost_unreachable")
+            return
+        self.nodes[msg.dst]._deliver(msg)
+
+
+class Node:
+    """Base class for every addressable participant in the simulation.
+
+    Provides datagram send, request/reply RPC with timeouts, and
+    crash/recover with fail-stop volatile-state semantics: a crash cancels
+    all in-flight tasks spawned through :meth:`spawn` and bumps an epoch so
+    stale replies are ignored; subclasses override :meth:`on_crash` /
+    :meth:`on_recover` to model volatile-state loss.
+    """
+
+    def __init__(self, network: Network, addr: str):
+        self.network = network
+        self.addr = addr
+        self.kernel = network.kernel
+        self.alive = True
+        self.epoch = 0  # bumped on every crash; stale work is discarded
+        self._rpc_seq = itertools.count(1)
+        self._pending_rpcs: dict[int, SimFuture] = {}
+        self._tasks: list[Any] = []
+        self._handlers: dict[str, Callable] = {}
+        network.register(self)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        """Fail-stop: drop volatile state, kill in-flight work."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.epoch += 1
+        for task in self._tasks:
+            task.cancel()
+        self._tasks.clear()
+        for fut in self._pending_rpcs.values():
+            fut.try_set_exception(Unreachable(f"{self.addr} crashed with RPC pending"))
+        self._pending_rpcs.clear()
+        self.network.metrics.incr("node.crashes")
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart after a crash; volatile state was lost, stable state kept."""
+        if self.alive:
+            return
+        self.alive = True
+        self.network.metrics.incr("node.recoveries")
+        self.on_recover()
+
+    def on_crash(self) -> None:
+        """Hook: subclasses discard volatile state here."""
+
+    def on_recover(self) -> None:
+        """Hook: subclasses run their recovery protocol here."""
+
+    def spawn(self, coro, name: str = ""):
+        """Spawn a task tied to this node's life (cancelled on crash)."""
+        task = self.kernel.spawn(coro, name=name or f"{self.addr}:task")
+        self._tasks.append(task)
+        task.add_done_callback(self._reap)
+        return task
+
+    def _reap(self, task) -> None:
+        try:
+            self._tasks.remove(task)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # datagrams
+    # ------------------------------------------------------------------ #
+
+    def send(self, dst: str, payload: Any, size_bytes: int = 256, tag: str = "") -> None:
+        """Fire-and-forget datagram."""
+        if not self.alive:
+            return
+        self.network.transmit(
+            Message(self.addr, dst, MsgKind.DATAGRAM, payload, size_bytes, tag)
+        )
+
+    # ------------------------------------------------------------------ #
+    # RPC
+    # ------------------------------------------------------------------ #
+
+    def register_handler(self, method: str, fn: Callable) -> None:
+        """Register an async RPC handler: ``async fn(src_addr, **kwargs)``."""
+        self._handlers[method] = fn
+
+    def rpc(
+        self,
+        dst: str,
+        method: str,
+        args: dict[str, Any] | None = None,
+        timeout: float = DEFAULT_RPC_TIMEOUT_MS,
+        size_bytes: int = 256,
+        tag: str = "",
+    ) -> SimFuture:
+        """Invoke ``method`` on node ``dst``; future resolves with the reply.
+
+        Fails with :class:`RpcTimeout` when no reply arrives in ``timeout``
+        virtual ms (covering loss, crash, and partition uniformly — the
+        caller cannot distinguish them, per the failure model), or with
+        :class:`RpcRemoteError` when the remote handler raised.
+        """
+        out = self.kernel.create_future()
+        if not self.alive:
+            out.set_exception(Unreachable(f"{self.addr} is down"))
+            return out
+        req_id = next(self._rpc_seq)
+        self._pending_rpcs[req_id] = out
+        payload = {"req_id": req_id, "method": method, "args": args or {}}
+        self.network.transmit(
+            Message(self.addr, dst, MsgKind.RPC_REQUEST, payload, size_bytes, tag or method)
+        )
+
+        def _expire() -> None:
+            if self._pending_rpcs.pop(req_id, None) is not None:
+                out.try_set_exception(
+                    RpcTimeout(f"rpc {method} to {dst} timed out after {timeout}ms")
+                )
+
+        handle = self.kernel.schedule(timeout, _expire)
+        out.add_done_callback(lambda _f: handle.cancel())
+        return out
+
+    async def call(self, dst: str, method: str, timeout: float = DEFAULT_RPC_TIMEOUT_MS,
+                   size_bytes: int = 256, tag: str = "", **kwargs: Any) -> Any:
+        """``await``-style RPC convenience wrapper around :meth:`rpc`."""
+        return await self.rpc(dst, method, kwargs, timeout=timeout,
+                              size_bytes=size_bytes, tag=tag)
+
+    # ------------------------------------------------------------------ #
+    # delivery
+    # ------------------------------------------------------------------ #
+
+    def _deliver(self, msg: Message) -> None:
+        if not self.alive:
+            return
+        if msg.kind is MsgKind.RPC_REQUEST:
+            self.spawn(self._serve_rpc(msg), name=f"{self.addr}:rpc:{msg.payload['method']}")
+        elif msg.kind is MsgKind.RPC_REPLY:
+            self._accept_reply(msg)
+        else:
+            self.on_message(msg)
+
+    async def _serve_rpc(self, msg: Message) -> None:
+        payload = msg.payload
+        handler = self._handlers.get(payload["method"])
+        reply: dict[str, Any]
+        if handler is None:
+            reply = {
+                "req_id": payload["req_id"],
+                "error": ("NoSuchMethod", payload["method"]),
+            }
+        else:
+            epoch = self.epoch
+            try:
+                result = await handler(msg.src, **payload["args"])
+                reply = {"req_id": payload["req_id"], "result": result}
+            except Exception as exc:  # surfaces to caller as RpcRemoteError
+                reply = {
+                    "req_id": payload["req_id"],
+                    "error": (type(exc).__name__, str(exc)),
+                }
+            if self.epoch != epoch or not self.alive:
+                return  # crashed while serving: reply dies with us
+        self.network.transmit(
+            Message(self.addr, msg.src, MsgKind.RPC_REPLY, reply, 256,
+                    tag=payload["method"] + ".reply")
+        )
+
+    def _accept_reply(self, msg: Message) -> None:
+        fut = self._pending_rpcs.pop(msg.payload["req_id"], None)
+        if fut is None:
+            return  # late reply after timeout/crash: drop
+        if "error" in msg.payload:
+            error_type, text = msg.payload["error"]
+            fut.try_set_exception(RpcRemoteError(error_type, text))
+        else:
+            fut.try_set_result(msg.payload["result"])
+
+    def on_message(self, msg: Message) -> None:
+        """Hook for non-RPC datagrams; default drops them."""
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<{type(self).__name__} {self.addr} {state}>"

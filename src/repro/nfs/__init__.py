@@ -1,0 +1,26 @@
+"""The NFS file service envelope (§5.2) and the Deceit server facade.
+
+The envelope maps every file, directory, and soft link onto exactly one
+segment and translates the NFS operation vocabulary into creates, deletes,
+reads, and writes on segments — "the UNIX kernel does a similar
+transformation when it transforms user file operations into disk
+operations."  It is totally independent of the segment-server protocols
+underneath, exactly as Figure 6 promises.
+
+- :mod:`repro.nfs.fhandle` — file handles (unique while a replica exists);
+- :mod:`repro.nfs.attrs` — NFS-style attributes stored in segment metadata;
+- :mod:`repro.nfs.names` — name parsing, including the ``foo;3``
+  version-qualified syntax (§3.5);
+- :mod:`repro.nfs.envelope` — the op translation layer, with optimistic
+  version-pair retry for directory updates (§5.1 example);
+- :mod:`repro.nfs.links` — uplink lists, hint link counts, and garbage
+  collection (§5.2);
+- :mod:`repro.nfs.server` — :class:`DeceitServer`: one per machine, wiring
+  ISIS process + disk + segment server + envelope + NFS RPC entry points.
+"""
+
+from repro.nfs.attrs import FileAttrs, FileType
+from repro.nfs.fhandle import FileHandle
+from repro.nfs.server import DeceitServer
+
+__all__ = ["DeceitServer", "FileAttrs", "FileHandle", "FileType"]

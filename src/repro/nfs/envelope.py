@@ -1,0 +1,399 @@
+"""The NFS file service envelope: NFS ops → segment ops (§5.2).
+
+Every file, directory, and soft link is mapped into a unique segment.
+Directories serialize their entry table as JSON in the segment data; file
+attributes live in segment metadata (see :mod:`repro.nfs.attrs`); symlink
+targets are the segment data.
+
+Directory updates use the optimistic version-pair transaction of §5.1: read
+the directory (obtaining its version pair), compute the new entry table,
+and write conditionally on that pair; a conflict restarts the whole
+operation.  "If a version pair conflict occurs, the whole operation is
+restarted."
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.core import SegmentServer, WriteOp
+from repro.core.params import FileParams
+from repro.core.segment_server import ReadResult
+from repro.errors import (
+    NfsError,
+    NfsStat,
+    NoSuchSegment,
+    ReplicaUnavailable,
+    VersionConflict,
+    nfs_error,
+)
+from repro.nfs.attrs import FileAttrs, FileType, sattr_to_meta
+from repro.nfs.fhandle import FileHandle
+from repro.nfs.links import collect_if_unreferenced
+from repro.nfs.names import split_version, validate_name
+
+MAX_DIR_RETRIES = 16
+#: Reserved handle for the global root directory (§2.2) — not a segment.
+GLOBAL_ROOT_SID = "@global"
+
+
+def encode_dir(entries: dict[str, dict[str, str]]) -> bytes:
+    """Serialize a directory entry table into segment data."""
+    return json.dumps({"entries": entries}, sort_keys=True).encode()
+
+
+def decode_dir(data: bytes) -> dict[str, dict[str, str]]:
+    """Inverse of :func:`encode_dir` (empty data = empty directory)."""
+    if not data:
+        return {}
+    return json.loads(data.decode())["entries"]
+
+
+class Envelope:
+    """One per server; translates NFS calls onto the local segment server."""
+
+    def __init__(self, segments: SegmentServer):
+        self.segments = segments
+        self.kernel = segments.kernel
+        self.metrics = segments.metrics
+        self.root_fh: FileHandle | None = None
+
+    def set_root(self, fh: FileHandle) -> None:
+        """Install the cell root handle (done once at cell bootstrap)."""
+        self.root_fh = fh
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    async def _read_segment(self, fh: FileHandle) -> ReadResult:
+        try:
+            return await self.segments.read(fh.sid, version=fh.version)
+        except NoSuchSegment as exc:
+            raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+        except ReplicaUnavailable as exc:
+            raise nfs_error(NfsStat.ERR_IO, str(exc)) from exc
+
+    async def _stat_segment(self, fh: FileHandle) -> ReadResult:
+        try:
+            return await self.segments.stat(fh.sid, version=fh.version)
+        except NoSuchSegment as exc:
+            raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+        except ReplicaUnavailable as exc:
+            raise nfs_error(NfsStat.ERR_IO, str(exc)) from exc
+
+    @staticmethod
+    def _attrs_of(result: ReadResult, size: int | None = None) -> FileAttrs:
+        length = size if size is not None else result.meta.get("length", 0)
+        return FileAttrs.from_meta(result.meta, length)
+
+    async def _require_dir(self, fh: FileHandle) -> tuple[dict, ReadResult]:
+        result = await self._read_segment(fh)
+        if result.meta.get("ftype") != FileType.DIRECTORY.value:
+            raise nfs_error(NfsStat.ERR_NOTDIR, fh.sid)
+        return decode_dir(result.data), result
+
+    async def _update_dir(
+        self, fh: FileHandle,
+        mutate: Callable[[dict[str, dict[str, str]]], dict[str, dict[str, str]]],
+    ) -> None:
+        """Optimistic directory transaction with restart on conflict."""
+        for _attempt in range(MAX_DIR_RETRIES):
+            entries, result = await self._require_dir(fh)
+            new_entries = mutate(dict(entries))
+            data = encode_dir(new_entries)
+            op = WriteOp(kind="setdata", data=data,
+                         meta={"mtime": self.kernel.now,
+                               "length": len(data)})
+            try:
+                await self.segments.write(fh.sid, op, guard=result.version,
+                                          version=result.major)
+                return
+            except VersionConflict:
+                self.metrics.incr("nfs.dir_retries")
+                continue
+        raise nfs_error(NfsStat.ERR_IO, f"directory contention on {fh.sid}")
+
+    async def _touch_meta(self, fh: FileHandle, patch: dict[str, Any]) -> None:
+        await self.segments.write(fh.sid, WriteOp(kind="setmeta", meta=patch),
+                                  version=fh.version)
+
+    # ------------------------------------------------------------------ #
+    # NFS operations
+    # ------------------------------------------------------------------ #
+
+    async def getattr(self, fh: FileHandle) -> FileAttrs:
+        """GETATTR — the most frequent NFS op; attributes only, no data."""
+        self.metrics.incr("nfs.ops.getattr")
+        if fh.sid == GLOBAL_ROOT_SID:
+            return FileAttrs(ftype=FileType.DIRECTORY, mode=0o555)
+        result = await self._stat_segment(fh)
+        return self._attrs_of(result)
+
+    async def setattr(self, fh: FileHandle, sattr: dict[str, Any]) -> FileAttrs:
+        """SETATTR — mode/owner/times via setmeta; size via truncate."""
+        self.metrics.incr("nfs.ops.setattr")
+        patch = sattr_to_meta(sattr)
+        patch["ctime"] = self.kernel.now
+        if "size" in sattr:
+            size = int(sattr["size"])
+            await self.segments.write(
+                fh.sid,
+                WriteOp(kind="truncate", length=size,
+                        meta={**patch, "length": size, "mtime": self.kernel.now}),
+                version=fh.version,
+            )
+        else:
+            await self._touch_meta(fh, patch)
+        return await self.getattr(fh)
+
+    async def lookup(self, dirfh: FileHandle, name: str) -> tuple[FileHandle, FileAttrs]:
+        """LOOKUP — resolve one name, honoring ``foo;3`` version syntax."""
+        self.metrics.incr("nfs.ops.lookup")
+        base, version = split_version(name)
+        entries, _result = await self._require_dir(dirfh)
+        entry = entries.get(base)
+        if entry is None:
+            raise nfs_error(NfsStat.ERR_NOENT, f"{base} not in {dirfh.sid}")
+        fh = FileHandle(sid=entry["h"])
+        if version is not None:
+            versions = await self.segments.list_versions(fh.sid)
+            if version not in versions:
+                raise nfs_error(NfsStat.ERR_NOENT, f"{base};{version}")
+            fh = fh.qualified(version)
+        return fh, await self.getattr(fh)
+
+    async def read(self, fh: FileHandle, offset: int = 0,
+                   count: int | None = None) -> bytes:
+        """READ — byte range of a regular file (or symlink data)."""
+        self.metrics.incr("nfs.ops.read")
+        result = await self.segments.read(fh.sid, offset=offset, count=count,
+                                          version=fh.version)
+        if result.meta.get("ftype") == FileType.DIRECTORY.value:
+            raise nfs_error(NfsStat.ERR_ISDIR, fh.sid)
+        return result.data
+
+    async def write(self, fh: FileHandle, offset: int, data: bytes) -> FileAttrs:
+        """WRITE — overwrite/extend at ``offset``; bumps mtime atomically."""
+        self.metrics.incr("nfs.ops.write")
+        stat = await self._stat_segment(fh)
+        if stat.meta.get("ftype") == FileType.DIRECTORY.value:
+            raise nfs_error(NfsStat.ERR_ISDIR, fh.sid)
+        new_length = max(stat.meta.get("length", 0), offset + len(data))
+        op = WriteOp(kind="replace", offset=offset, data=data,
+                     meta={"mtime": self.kernel.now, "length": new_length})
+        try:
+            version = await self.segments.write(fh.sid, op, version=fh.version)
+        except NoSuchSegment as exc:
+            raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+        return await self.getattr(fh)
+
+    async def create(self, dirfh: FileHandle, name: str,
+                     sattr: dict[str, Any] | None = None,
+                     params: FileParams | None = None) -> tuple[FileHandle, FileAttrs]:
+        """CREATE — new regular file; returns its handle and attributes."""
+        self.metrics.incr("nfs.ops.create")
+        return await self._create_node(dirfh, name, FileType.REGULAR,
+                                       b"", sattr, params)
+
+    async def mkdir(self, dirfh: FileHandle, name: str,
+                    sattr: dict[str, Any] | None = None,
+                    params: FileParams | None = None) -> tuple[FileHandle, FileAttrs]:
+        """MKDIR — new directory (its own segment with an empty table)."""
+        self.metrics.incr("nfs.ops.mkdir")
+        sattr = dict(sattr or {})
+        sattr.setdefault("mode", 0o755)
+        return await self._create_node(dirfh, name, FileType.DIRECTORY,
+                                       encode_dir({}), sattr, params)
+
+    async def symlink(self, dirfh: FileHandle, name: str,
+                      target: str) -> tuple[FileHandle, FileAttrs]:
+        """SYMLINK — soft link; the target string is the segment data."""
+        self.metrics.incr("nfs.ops.symlink")
+        return await self._create_node(dirfh, name, FileType.SYMLINK,
+                                       target.encode(), None, None)
+
+    async def readlink(self, fh: FileHandle) -> str:
+        """READLINK — return the symlink target."""
+        self.metrics.incr("nfs.ops.readlink")
+        result = await self._read_segment(fh)
+        if result.meta.get("ftype") != FileType.SYMLINK.value:
+            raise nfs_error(NfsStat.ERR_IO, f"{fh.sid} is not a symlink")
+        return result.data.decode()
+
+    async def _create_node(self, dirfh: FileHandle, name: str, ftype: FileType,
+                           data: bytes, sattr: dict[str, Any] | None,
+                           params: FileParams | None) -> tuple[FileHandle, FileAttrs]:
+        validate_name(name)
+        base, version = split_version(name)
+        if version is not None:
+            raise nfs_error(NfsStat.ERR_EXIST,
+                            "cannot create a version-qualified name")
+        now = self.kernel.now
+        attrs = FileAttrs(ftype=ftype, atime=now, mtime=now, ctime=now)
+        for key, value in sattr_to_meta(sattr or {}).items():
+            setattr(attrs, key, value)
+        meta = attrs.to_meta()
+        meta["length"] = len(data)
+        meta["uplinks"] = [dirfh.sid]
+        sid = await self.segments.create(params=params, data=data, meta=meta)
+        fh = FileHandle(sid=sid)
+
+        def add_entry(entries: dict) -> dict:
+            if base in entries:
+                raise nfs_error(NfsStat.ERR_EXIST, base)
+            entries[base] = {"h": sid, "t": ftype.value}
+            return entries
+
+        try:
+            await self._update_dir(dirfh, add_entry)
+        except NfsError:
+            await self.segments.delete(sid)  # roll back the orphan segment
+            raise
+        return fh, await self.getattr(fh)
+
+    async def remove(self, dirfh: FileHandle, name: str) -> None:
+        """REMOVE — unlink a file name; storage is garbage collected when
+        no version of any uplinked directory still references it (§5.2)."""
+        self.metrics.incr("nfs.ops.remove")
+        base, _version = split_version(name)
+        entries, _result = await self._require_dir(dirfh)
+        entry = entries.get(base)
+        if entry is None:
+            raise nfs_error(NfsStat.ERR_NOENT, base)
+        if entry["t"] == FileType.DIRECTORY.value:
+            raise nfs_error(NfsStat.ERR_ISDIR, base)
+        target = FileHandle(sid=entry["h"])
+
+        def drop_entry(dir_entries: dict) -> dict:
+            if base not in dir_entries:
+                raise nfs_error(NfsStat.ERR_NOENT, base)
+            del dir_entries[base]
+            return dir_entries
+
+        await self._update_dir(dirfh, drop_entry)
+        await self._decrement_link(target)
+
+    async def rmdir(self, dirfh: FileHandle, name: str) -> None:
+        """RMDIR — remove an *empty* directory."""
+        self.metrics.incr("nfs.ops.rmdir")
+        base, _version = split_version(name)
+        entries, _result = await self._require_dir(dirfh)
+        entry = entries.get(base)
+        if entry is None:
+            raise nfs_error(NfsStat.ERR_NOENT, base)
+        if entry["t"] != FileType.DIRECTORY.value:
+            raise nfs_error(NfsStat.ERR_NOTDIR, base)
+        victim = FileHandle(sid=entry["h"])
+        victim_entries, _r = await self._require_dir(victim)
+        if victim_entries:
+            raise nfs_error(NfsStat.ERR_NOTEMPTY, base)
+
+        def drop_entry(dir_entries: dict) -> dict:
+            if base not in dir_entries:
+                raise nfs_error(NfsStat.ERR_NOENT, base)
+            del dir_entries[base]
+            return dir_entries
+
+        await self._update_dir(dirfh, drop_entry)
+        await self.segments.delete(victim.sid)
+
+    async def rename(self, fromdir: FileHandle, fromname: str,
+                     todir: FileHandle, toname: str) -> None:
+        """RENAME — move a directory entry; updates the file's uplink list.
+
+        §5.2 notes a move touches "two directories, a link count, and an
+        uplink list ... in some safe order"; the order here is
+        add-new-entry, update-uplinks, drop-old-entry, so a crash in the
+        middle leaves the file reachable (possibly under both names) rather
+        than lost.
+        """
+        self.metrics.incr("nfs.ops.rename")
+        frombase, _v1 = split_version(fromname)
+        tobase, _v2 = split_version(toname)
+        validate_name(tobase)
+        entries, _result = await self._require_dir(fromdir)
+        entry = entries.get(frombase)
+        if entry is None:
+            raise nfs_error(NfsStat.ERR_NOENT, frombase)
+        target = FileHandle(sid=entry["h"])
+
+        def add_entry(dir_entries: dict) -> dict:
+            existing = dir_entries.get(tobase)
+            if existing is not None and existing["h"] != entry["h"]:
+                if existing["t"] == FileType.DIRECTORY.value:
+                    raise nfs_error(NfsStat.ERR_EXIST, tobase)
+            dir_entries[tobase] = dict(entry)
+            return dir_entries
+
+        await self._update_dir(todir, add_entry)
+        if fromdir.sid != todir.sid:
+            stat = await self._stat_segment(target)
+            uplinks = list(stat.meta.get("uplinks", []))
+            if todir.sid not in uplinks:
+                uplinks.append(todir.sid)
+            if fromdir.sid in uplinks and fromdir.sid != todir.sid:
+                uplinks.remove(fromdir.sid)
+            await self._touch_meta(target, {"uplinks": uplinks})
+
+        def drop_entry(dir_entries: dict) -> dict:
+            if dir_entries.get(frombase, {}).get("h") == entry["h"]:
+                del dir_entries[frombase]
+            return dir_entries
+
+        await self._update_dir(fromdir, drop_entry)
+
+    async def link(self, fh: FileHandle, todir: FileHandle, name: str) -> None:
+        """LINK — hard link: new entry + uplink record + link-count hint.
+
+        "When a hard link is made to f in directory d, d is added to the
+        uplink list of all versions of f which can be updated at that
+        time" (§5.2).
+        """
+        self.metrics.incr("nfs.ops.link")
+        base, _version = split_version(name)
+        validate_name(base)
+        stat = await self._stat_segment(fh)
+        if stat.meta.get("ftype") == FileType.DIRECTORY.value:
+            raise nfs_error(NfsStat.ERR_ISDIR, fh.sid)
+
+        def add_entry(dir_entries: dict) -> dict:
+            if base in dir_entries:
+                raise nfs_error(NfsStat.ERR_EXIST, base)
+            dir_entries[base] = {"h": fh.sid, "t": stat.meta.get("ftype", "reg")}
+            return dir_entries
+
+        await self._update_dir(todir, add_entry)
+        uplinks = list(stat.meta.get("uplinks", []))
+        if todir.sid not in uplinks:
+            uplinks.append(todir.sid)
+        await self._touch_meta(fh, {
+            "uplinks": uplinks,
+            "nlink": stat.meta.get("nlink", 1) + 1,
+            "ctime": self.kernel.now,
+        })
+
+    async def _decrement_link(self, fh: FileHandle) -> None:
+        stat = await self._stat_segment(fh)
+        nlink = max(0, stat.meta.get("nlink", 1) - 1)
+        await self._touch_meta(fh, {"nlink": nlink, "ctime": self.kernel.now})
+        if nlink == 0:
+            await collect_if_unreferenced(self, fh.sid)
+
+    async def readdir(self, dirfh: FileHandle) -> list[dict[str, str]]:
+        """READDIR — entry names (unqualified) with types and handles."""
+        self.metrics.incr("nfs.ops.readdir")
+        if dirfh.sid == GLOBAL_ROOT_SID:
+            # "It cannot be listed, as it implicitly contains the full
+            # machine names of every accessible Deceit server." (§2.2)
+            raise nfs_error(NfsStat.ERR_PERM, "the global root cannot be listed")
+        entries, _result = await self._require_dir(dirfh)
+        return [{"name": name, "type": e["t"], "fh": FileHandle(sid=e["h"]).encode()}
+                for name, e in sorted(entries.items())]
+
+    async def statfs(self, fh: FileHandle) -> dict[str, int]:
+        """STATFS — synthetic filesystem totals (simulation-wide)."""
+        self.metrics.incr("nfs.ops.statfs")
+        return {"tsize": 8192, "bsize": 4096,
+                "blocks": 1 << 20, "bfree": 1 << 19, "bavail": 1 << 19}

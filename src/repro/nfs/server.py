@@ -1,0 +1,265 @@
+"""DeceitServer: the per-machine facade (Figure 6's full stack).
+
+One instance per server machine, wiring together the ISIS process, the
+simulated disk, the segment server, and the NFS envelope, and exposing:
+
+- the **NFS entry point** (``nfs`` RPC): clients send NFS-vocabulary calls
+  to *any* server; the segment layer forwards internally when the data
+  lives elsewhere — "all servers provide an identical file service to
+  clients" (§2.1);
+- the **mount entry point** (``nfs_root``);
+- the **special commands** (``deceit_cmd``): set file parameters, list
+  versions, locate replicas, explicit replica placement, conflict listing,
+  version reconciliation (§2.1);
+- **cross-cell proxying**: operations on foreign handles are relayed to
+  the handle's home machine, the local cell acting as a client to the
+  remote one (§2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import SegmentServer
+from repro.core.params import FileParams
+from repro.errors import NfsError, NfsStat, nfs_error
+from repro.isis import IsisProcess
+from repro.metrics import Metrics
+from repro.net import Network
+from repro.nfs.attrs import FileAttrs, FileType
+from repro.nfs.envelope import GLOBAL_ROOT_SID, Envelope
+from repro.nfs.fhandle import FileHandle
+from repro.storage import Disk
+
+NFS_PROXY_TIMEOUT_MS = 2000.0
+
+
+class DeceitServer:
+    """A complete Deceit server machine."""
+
+    def __init__(self, network: Network, addr: str, cell_peers: list[str],
+                 rank: int, metrics: Metrics | None = None,
+                 fd_timeout_ms: float = 200.0):
+        self.addr = addr
+        self.proc = IsisProcess(network, addr, cell_peers=cell_peers,
+                                fd_timeout_ms=fd_timeout_ms)
+        self.kernel = self.proc.kernel
+        self.metrics = metrics or network.metrics
+        self.disk = Disk(self.kernel, name=f"{addr}.disk", metrics=self.metrics)
+        self.segments = SegmentServer(self.proc, self.disk, rank,
+                                      metrics=self.metrics)
+        self.envelope = Envelope(self.segments)
+        self.proc.register_handler("nfs", self._h_nfs)
+        self.proc.register_handler("nfs_root", self._h_root)
+        self.proc.register_handler("deceit_cmd", self._h_cmd)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Begin failure detection and join the conflict group."""
+        self.proc.start()
+        self.proc.spawn(self.segments.join_conflict_group(),
+                        name=f"{self.addr}:conflicts")
+        self.segments.start_merge_audit()
+
+    def crash(self) -> None:
+        """Fail-stop the whole machine."""
+        self.proc.crash()
+        self.disk.crash()
+        self.segments.volatile_reset()
+
+    def recover(self):
+        """Restart; returns the task running the recovery protocol (§3.6)."""
+        self.proc.recover()
+        self.segments.start_merge_audit()
+        return self.proc.spawn(self.segments.recover(),
+                               name=f"{self.addr}:recover")
+
+    async def bootstrap_namespace(self) -> FileHandle:
+        """Create the cell's root directory tree (run once per cell).
+
+        Builds ``/`` and ``/priv`` with a ``global`` entry pointing at the
+        reserved global-root handle (§2.2).  The root is replicated on up
+        to three servers — the paper flags the root as the hottest file
+        (§7), so it gets a higher replica level out of the box.
+        """
+        root_params = FileParams(
+            min_replicas=min(3, len(self.proc.cell_peers) + 1)
+        )
+        now = self.kernel.now
+        attrs = FileAttrs(ftype=FileType.DIRECTORY, mode=0o755,
+                          atime=now, mtime=now, ctime=now)
+        from repro.nfs.envelope import encode_dir
+        data = encode_dir({})
+        meta = attrs.to_meta()
+        meta["length"] = len(data)
+        meta["uplinks"] = []
+        sid = await self.segments.create(params=root_params, data=data, meta=meta)
+        root = FileHandle(sid=sid)
+        self.envelope.set_root(root)
+        priv, _attrs = await self.envelope.mkdir(root, "priv")
+        await self._add_global_entry(priv)
+        return root
+
+    async def _add_global_entry(self, priv: FileHandle) -> None:
+        def add(entries: dict) -> dict:
+            entries["global"] = {"h": GLOBAL_ROOT_SID, "t": "dir"}
+            return entries
+
+        await self.envelope._update_dir(priv, add)
+
+    def set_root(self, fh: FileHandle) -> None:
+        """Install the (already bootstrapped) cell root on this server."""
+        self.envelope.set_root(fh)
+
+    # ------------------------------------------------------------------ #
+    # RPC entry points
+    # ------------------------------------------------------------------ #
+
+    async def _h_root(self, src: str) -> dict:
+        if self.envelope.root_fh is None:
+            return {"status": NfsStat.ERR_IO, "error": "cell not bootstrapped"}
+        return {"status": 0, "fh": self.envelope.root_fh.encode()}
+
+    async def _h_nfs(self, src: str, op: str, args: dict[str, Any]) -> dict:
+        """The NFS protocol entry point; one handler, op-dispatched."""
+        self.metrics.incr("nfs.requests")
+        try:
+            fh = FileHandle.decode(args["fh"]) if "fh" in args else None
+            if fh is not None and fh.foreign and fh.home != self.addr:
+                return await self._proxy(fh.home, op, args)
+            return await self._dispatch_nfs(op, args, fh)
+        except NfsError as exc:
+            return {"status": exc.status, "error": str(exc)}
+
+    async def _proxy(self, home: str, op: str, args: dict[str, Any]) -> dict:
+        """Relay a foreign-cell call; re-stamp returned handles as foreign.
+
+        "The Cornell cell acts as a client to the MIT cell.  Mount and
+        access restrictions are applied as with any client." (§2.2)
+        """
+        self.metrics.incr("nfs.proxied")
+        reply = await self.proc.call(home, "nfs", op=op, args=args,
+                                     timeout=NFS_PROXY_TIMEOUT_MS, tag="nfs_proxy")
+        if reply.get("status") == 0 and "fh" in reply:
+            fh = FileHandle.decode(reply["fh"])
+            reply["fh"] = FileHandle(fh.sid, fh.version, home).encode()
+        return reply
+
+    async def _dispatch_nfs(self, op: str, args: dict[str, Any],
+                            fh: FileHandle | None) -> dict:
+        env = self.envelope
+        if op == "getattr":
+            return {"status": 0, "attrs": (await env.getattr(fh)).to_wire()}
+        if op == "setattr":
+            return {"status": 0,
+                    "attrs": (await env.setattr(fh, args["sattr"])).to_wire()}
+        if op == "lookup":
+            if fh is not None and fh.sid == GLOBAL_ROOT_SID:
+                return await self._lookup_global(args["name"])
+            out_fh, attrs = await env.lookup(fh, args["name"])
+            return {"status": 0, "fh": out_fh.encode(), "attrs": attrs.to_wire()}
+        if op == "read":
+            data = await env.read(fh, args.get("offset", 0), args.get("count"))
+            return {"status": 0, "data": data}
+        if op == "write":
+            attrs = await env.write(fh, args.get("offset", 0), args["data"])
+            return {"status": 0, "attrs": attrs.to_wire()}
+        if op == "create":
+            out_fh, attrs = await env.create(fh, args["name"], args.get("sattr"))
+            return {"status": 0, "fh": out_fh.encode(), "attrs": attrs.to_wire()}
+        if op == "mkdir":
+            out_fh, attrs = await env.mkdir(fh, args["name"], args.get("sattr"))
+            return {"status": 0, "fh": out_fh.encode(), "attrs": attrs.to_wire()}
+        if op == "symlink":
+            out_fh, attrs = await env.symlink(fh, args["name"], args["target"])
+            return {"status": 0, "fh": out_fh.encode(), "attrs": attrs.to_wire()}
+        if op == "readlink":
+            return {"status": 0, "target": await env.readlink(fh)}
+        if op == "remove":
+            await env.remove(fh, args["name"])
+            return {"status": 0}
+        if op == "rmdir":
+            await env.rmdir(fh, args["name"])
+            return {"status": 0}
+        if op == "rename":
+            await env.rename(fh, args["fromname"],
+                             FileHandle.decode(args["tofh"]), args["toname"])
+            return {"status": 0}
+        if op == "link":
+            await env.link(fh, FileHandle.decode(args["tofh"]), args["name"])
+            return {"status": 0}
+        if op == "readdir":
+            return {"status": 0, "entries": await env.readdir(fh)}
+        if op == "statfs":
+            return {"status": 0, "statfs": await env.statfs(fh)}
+        raise nfs_error(NfsStat.ERR_IO, f"unknown NFS op {op!r}")
+
+    async def _lookup_global(self, name: str) -> dict:
+        """Resolve a machine name under the global root (§2.2)."""
+        self.metrics.incr("nfs.global_lookups")
+        try:
+            reply = await self.proc.call(name, "nfs_root",
+                                         timeout=NFS_PROXY_TIMEOUT_MS,
+                                         tag="global_root")
+        except Exception as exc:
+            raise nfs_error(NfsStat.ERR_NOENT,
+                            f"no Deceit server at {name!r}: {exc}") from exc
+        if reply.get("status") != 0:
+            raise nfs_error(NfsStat.ERR_NOENT, f"{name}: {reply.get('error')}")
+        remote_root = FileHandle.decode(reply["fh"])
+        foreign = FileHandle(remote_root.sid, None, name)
+        attrs = FileAttrs(ftype=FileType.DIRECTORY, mode=0o755)
+        return {"status": 0, "fh": foreign.encode(), "attrs": attrs.to_wire()}
+
+    # ------------------------------------------------------------------ #
+    # special commands (§2.1)
+    # ------------------------------------------------------------------ #
+
+    async def _h_cmd(self, src: str, cmd: str, args: dict[str, Any]) -> dict:
+        self.metrics.incr("nfs.special_cmds")
+        try:
+            return await self._dispatch_cmd(cmd, args)
+        except NfsError as exc:
+            return {"status": exc.status, "error": str(exc)}
+        except Exception as exc:
+            return {"status": NfsStat.ERR_IO, "error": f"{type(exc).__name__}: {exc}"}
+
+    async def _dispatch_cmd(self, cmd: str, args: dict[str, Any]) -> dict:
+        seg = self.segments
+        fh = FileHandle.decode(args["fh"]) if "fh" in args else None
+        if cmd == "setparam":
+            params = await seg.setparam(fh.sid, **args["changes"])
+            return {"status": 0, "params": params.to_dict()}
+        if cmd == "getparam":
+            result = await seg.stat(fh.sid, version=fh.version)
+            return {"status": 0, "params": result.params.to_dict()}
+        if cmd == "list_versions":
+            versions = await seg.list_versions(fh.sid)
+            return {"status": 0,
+                    "versions": {str(m): v.to_tuple() for m, v in versions.items()}}
+        if cmd == "get_version":
+            version = await seg.get_version(fh.sid, version=fh.version)
+            return {"status": 0, "version": version.to_tuple()}
+        if cmd == "locate":
+            located = await seg.locate_replicas(fh.sid, version=fh.version)
+            located = dict(located)
+            located["version"] = located["version"].to_tuple()
+            return {"status": 0, "located": located}
+        if cmd == "create_replica":
+            ok = await seg.create_replica(fh.sid, args["server"],
+                                          major=fh.version)
+            return {"status": 0, "created": ok}
+        if cmd == "delete_replica":
+            ok = await seg.delete_replica(fh.sid, args["server"],
+                                          major=fh.version)
+            return {"status": 0, "deleted": ok}
+        if cmd == "conflicts":
+            records = seg.conflicts.records(args.get("sid"))
+            return {"status": 0, "conflicts": [r.to_dict() for r in records]}
+        if cmd == "reconcile":
+            dropped = await seg.reconcile_versions(fh.sid, keep=args["keep"])
+            return {"status": 0, "dropped": dropped}
+        raise nfs_error(NfsStat.ERR_IO, f"unknown special command {cmd!r}")

@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel.
+
+This package provides the virtual-time substrate that every other layer of
+the reproduction runs on: a :class:`~repro.sim.kernel.Kernel` event loop with
+a virtual clock, awaitable :class:`~repro.sim.kernel.SimFuture` objects, and
+cooperative :class:`~repro.sim.kernel.Task` coroutines.
+
+The original Deceit system ran on real machines and real networks; all of
+its protocol claims, however, are about message *rounds*, delivery *order*,
+and failure *visibility* — quantities a discrete-event simulation reproduces
+exactly.  Protocol code throughout the repository is written as ordinary
+``async def`` coroutines that ``await`` on simulated time and simulated
+message delivery.
+
+Example
+-------
+>>> from repro.sim import Kernel
+>>> k = Kernel()
+>>> async def hello():
+...     await k.sleep(5.0)
+...     return k.now
+>>> k.run_until_complete(k.spawn(hello()))
+5.0
+"""
+
+from repro.sim.kernel import (
+    Kernel,
+    SimFuture,
+    SimTimeoutError,
+    Task,
+    TaskCancelled,
+)
+
+__all__ = [
+    "Kernel",
+    "SimFuture",
+    "SimTimeoutError",
+    "Task",
+    "TaskCancelled",
+]

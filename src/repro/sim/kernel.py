@@ -1,0 +1,392 @@
+"""Virtual-time event loop with awaitable futures and coroutine tasks.
+
+The kernel is a classic discrete-event simulator: a priority queue of
+``(time, sequence, callback)`` entries and a virtual clock that jumps from
+event to event.  On top of that sits a minimal coroutine runtime so protocol
+code can be written with ``async``/``await`` instead of callback chains.
+
+Determinism: events at equal virtual times fire in scheduling order (a
+monotonically increasing sequence number breaks ties), so any simulation
+driven by seeded RNGs is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import warnings
+from collections.abc import Awaitable, Callable, Coroutine, Iterable
+from typing import Any
+
+# A discrete-event simulation legitimately stops with tasks scheduled but
+# never started; their coroutine objects are then collected un-run at
+# interpreter teardown.  That is inherent to ending a simulation mid-flight,
+# not a programming error worth a warning per run.
+warnings.filterwarnings("ignore", message=r"coroutine '.*' was never awaited")
+
+
+class SimTimeoutError(Exception):
+    """Raised when :meth:`Kernel.wait_for` exceeds its timeout."""
+
+
+class TaskCancelled(Exception):
+    """Raised inside a coroutine whose :class:`Task` was cancelled."""
+
+
+class SimFuture:
+    """A single-assignment result container, awaitable from a :class:`Task`.
+
+    Mirrors the essential surface of :class:`asyncio.Future` but runs on the
+    simulation kernel's virtual clock.
+    """
+
+    __slots__ = ("kernel", "_done", "_result", "_exception", "_callbacks")
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._done = False
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+
+    def done(self) -> bool:
+        """Return ``True`` once a result or exception has been set."""
+        return self._done
+
+    def result(self) -> Any:
+        """Return the stored result, raising the stored exception if any."""
+        if not self._done:
+            raise RuntimeError("SimFuture result read before completion")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        """Return the stored exception (or ``None``)."""
+        if not self._done:
+            raise RuntimeError("SimFuture exception read before completion")
+        return self._exception
+
+    def set_result(self, value: Any = None) -> None:
+        """Complete the future successfully with ``value``."""
+        if self._done:
+            raise RuntimeError("SimFuture already completed")
+        self._done = True
+        self._result = value
+        self._fire_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Complete the future with an exception."""
+        if self._done:
+            raise RuntimeError("SimFuture already completed")
+        self._done = True
+        self._exception = exc
+        self._fire_callbacks()
+
+    def try_set_result(self, value: Any = None) -> bool:
+        """Set a result unless the future is already done; report success."""
+        if self._done:
+            return False
+        self.set_result(value)
+        return True
+
+    def try_set_exception(self, exc: BaseException) -> bool:
+        """Set an exception unless the future is already done."""
+        if self._done:
+            return False
+        self.set_exception(exc)
+        return True
+
+    def add_done_callback(self, fn: Callable[["SimFuture"], None]) -> None:
+        """Run ``fn(self)`` when the future completes (immediately if done)."""
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __await__(self):
+        if not self._done:
+            yield self
+        return self.result()
+
+
+class Task(SimFuture):
+    """A coroutine driven by the kernel; completes with the coroutine's return.
+
+    Tasks are themselves futures, so one coroutine can ``await`` another via
+    ``await kernel.spawn(other())``.
+    """
+
+    __slots__ = ("_coro", "_cancelled", "_started", "name")
+
+    def __init__(self, kernel: "Kernel", coro: Coroutine, name: str = ""):
+        super().__init__(kernel)
+        self._coro = coro
+        self._cancelled = False
+        self._started = False
+        self.name = name or getattr(coro, "__name__", "task")
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns ``False`` if already done."""
+        if self._done:
+            return False
+        self._cancelled = True
+        if not self._started:
+            # Never entered the coroutine: close it outright so it cannot
+            # leak as a "never awaited" object at interpreter teardown.
+            self._coro.close()
+            self.try_set_exception(TaskCancelled())
+            return True
+        self.kernel._schedule_now(self._step, None)
+        return True
+
+    def _step(self, wakeup_value: Any) -> None:
+        if self._done:
+            return
+        self._started = True
+        try:
+            if self._cancelled:
+                awaited = self._coro.throw(TaskCancelled())
+            elif isinstance(wakeup_value, BaseException):
+                awaited = self._coro.throw(wakeup_value)
+            else:
+                awaited = self._coro.send(wakeup_value)
+        except StopIteration as stop:
+            self.try_set_result(stop.value)
+            return
+        except TaskCancelled as exc:
+            self.try_set_exception(exc)
+            return
+        except BaseException as exc:  # propagate to awaiters
+            self.try_set_exception(exc)
+            return
+        if not isinstance(awaited, SimFuture):
+            self.try_set_exception(
+                TypeError(f"task awaited a non-SimFuture: {awaited!r}")
+            )
+            return
+        awaited.add_done_callback(self._resume_from)
+
+    def _resume_from(self, fut: SimFuture) -> None:
+        if self._done:
+            return
+        exc = fut._exception
+        if exc is not None:
+            self.kernel._schedule_now(self._step, exc)
+        else:
+            self.kernel._schedule_now(self._step, fut._result)
+
+
+class _Event:
+    __slots__ = ("when", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, when: float, seq: int, fn: Callable, args: tuple):
+        self.when = when
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Kernel.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the scheduled callback from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+
+class Kernel:
+    """The discrete-event simulation loop.
+
+    All components of the reproduction share one kernel instance; virtual
+    time (:attr:`now`) only advances inside :meth:`run` /
+    :meth:`run_until_complete`.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # scheduling primitives
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        event = _Event(when, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def _schedule_now(self, fn: Callable, *args: Any) -> EventHandle:
+        return self.call_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------ #
+    # coroutine layer
+    # ------------------------------------------------------------------ #
+
+    def spawn(self, coro: Coroutine, name: str = "") -> Task:
+        """Start driving a coroutine; returns an awaitable :class:`Task`."""
+        task = Task(self, coro, name=name)
+        self._schedule_now(task._step, None)
+        return task
+
+    def create_future(self) -> SimFuture:
+        """Return a fresh unresolved :class:`SimFuture`."""
+        return SimFuture(self)
+
+    def sleep(self, delay: float) -> SimFuture:
+        """Future that resolves after ``delay`` virtual time units."""
+        fut = self.create_future()
+        self.schedule(delay, fut.try_set_result, None)
+        return fut
+
+    def wait_for(self, awaitable: Awaitable, timeout: float) -> SimFuture:
+        """Wrap an awaitable with a timeout.
+
+        The returned future resolves with the awaitable's result, or fails
+        with :class:`SimTimeoutError` if ``timeout`` elapses first.  The
+        underlying computation is *not* cancelled on timeout (matching the
+        fire-and-forget nature of datagram protocols this models).
+        """
+        inner = awaitable if isinstance(awaitable, SimFuture) else self.spawn(awaitable)
+        out = self.create_future()
+        handle = self.schedule(
+            timeout, out.try_set_exception, SimTimeoutError(f"timeout after {timeout}")
+        )
+
+        def _done(fut: SimFuture) -> None:
+            handle.cancel()
+            if fut._exception is not None:
+                out.try_set_exception(fut._exception)
+            else:
+                out.try_set_result(fut._result)
+
+        inner.add_done_callback(_done)
+        return out
+
+    def all_of(self, futures: Iterable[SimFuture]) -> SimFuture:
+        """Future resolving with a list of results once every input is done.
+
+        The first exception (if any) fails the aggregate immediately.
+        """
+        futures = list(futures)
+        out = self.create_future()
+        if not futures:
+            out.set_result([])
+            return out
+        remaining = [len(futures)]
+
+        def _one_done(_fut: SimFuture) -> None:
+            if out.done():
+                return
+            if _fut._exception is not None:
+                out.try_set_exception(_fut._exception)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                out.try_set_result([f._result for f in futures])
+
+        for f in futures:
+            f.add_done_callback(_one_done)
+        return out
+
+    def any_of(self, futures: Iterable[SimFuture]) -> SimFuture:
+        """Future resolving with the first completed input's result."""
+        futures = list(futures)
+        if not futures:
+            raise ValueError("any_of requires at least one future")
+        out = self.create_future()
+
+        def _one_done(fut: SimFuture) -> None:
+            if fut._exception is not None:
+                out.try_set_exception(fut._exception)
+            else:
+                out.try_set_result(fut._result)
+
+        for f in futures:
+            f.add_done_callback(_one_done)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Process events until the queue empties, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the number of events processed.
+        """
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.when > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            heapq.heappop(self._queue)
+            self.now = event.when
+            event.fn(*event.args)
+            processed += 1
+            self._events_processed += 1
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        return processed
+
+    def run_until_complete(self, awaitable: Awaitable, limit: float | None = None) -> Any:
+        """Drive the simulation until ``awaitable`` resolves; return its result.
+
+        ``limit`` bounds virtual time as a safety net against livelock; if the
+        awaitable is still pending at ``limit`` a :class:`SimTimeoutError` is
+        raised.
+        """
+        fut = awaitable if isinstance(awaitable, SimFuture) else self.spawn(awaitable)
+        while not fut.done():
+            if not self._queue:
+                raise RuntimeError("simulation deadlock: no events but future pending")
+            if limit is not None and self._queue[0].when > limit:
+                raise SimTimeoutError(f"virtual-time limit {limit} reached")
+            self.run(max_events=1)
+        return fut.result()
+
+    @property
+    def events_processed(self) -> int:
+        """Total events this kernel has executed (for diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued (including cancelled ones)."""
+        return len(self._queue)

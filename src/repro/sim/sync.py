@@ -1,0 +1,81 @@
+"""Cooperative synchronization primitives on the simulation kernel."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.kernel import Kernel, SimFuture
+
+
+class Lock:
+    """FIFO mutual-exclusion lock for tasks.
+
+    Usage::
+
+        await lock.acquire()
+        try: ...
+        finally: lock.release()
+    """
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self._locked = False
+        self._waiters: deque[SimFuture] = deque()
+
+    def acquire(self) -> SimFuture:
+        """Future resolving once the lock is held by the caller."""
+        fut = self.kernel.create_future()
+        if not self._locked:
+            self._locked = True
+            fut.set_result(None)
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def release(self) -> None:
+        """Release; wakes the longest-waiting acquirer, if any."""
+        if not self._locked:
+            raise RuntimeError("release of unheld lock")
+        if self._waiters:
+            self._waiters.popleft().try_set_result(None)
+        else:
+            self._locked = False
+
+    @property
+    def locked(self) -> bool:
+        """Whether the lock is currently held."""
+        return self._locked
+
+
+class Event:
+    """One-shot (resettable) broadcast event."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self._set = False
+        self._waiters: list[SimFuture] = []
+
+    def wait(self) -> SimFuture:
+        """Future resolving when (or immediately if) the event is set."""
+        fut = self.kernel.create_future()
+        if self._set:
+            fut.set_result(None)
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def set(self) -> None:
+        """Wake all waiters; subsequent waits return immediately."""
+        self._set = True
+        waiters, self._waiters = self._waiters, []
+        for fut in waiters:
+            fut.try_set_result(None)
+
+    def clear(self) -> None:
+        """Re-arm the event."""
+        self._set = False
+
+    @property
+    def is_set(self) -> bool:
+        """Current state."""
+        return self._set

@@ -1,0 +1,17 @@
+"""Per-server non-volatile storage simulation.
+
+Substitutes for the UNIX file system + local disk each Deceit server used
+(§3.5 "Local Non-volatile Storage").  The recovery-relevant property is
+reproduced exactly: synchronously written data survives a crash, data still
+in the asynchronous write-behind buffer does not.
+
+- :class:`~repro.storage.disk.Disk` — raw keyed store with sync/async write
+  semantics and virtual-time latency.
+- :class:`~repro.storage.kvstore.KvStore` — namespaced, deep-copying view
+  over a disk; what the segment server and NFS envelope actually use.
+"""
+
+from repro.storage.disk import Disk
+from repro.storage.kvstore import KvStore
+
+__all__ = ["Disk", "KvStore"]

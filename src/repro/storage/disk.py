@@ -1,0 +1,180 @@
+"""Simulated disk: keyed records, sync/async writes, crash semantics.
+
+Latencies default to late-1980s numbers (a SCSI disk of the era did a small
+synchronous write in ~15 ms and a cached read far faster).  The absolute
+values only matter relative to network latency: a synchronous disk write
+costs several network round trips, which is exactly the trade-off the
+paper's *write safety level* parameter (§4) exposes.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.metrics import Metrics
+from repro.sim import Kernel, SimFuture
+
+
+class Disk:
+    """A keyed non-volatile store attached to one server.
+
+    ``write(key, value, sync=True)`` is durable on completion.
+    ``write(key, value, sync=False)`` buffers the record; a background
+    flusher makes it durable after ``flush_interval_ms`` unless a crash
+    intervenes, in which case the buffered records are lost — this is the
+    mechanism behind write-safety-level 0 ("asynchronous unsafe writes").
+
+    Values are deep-copied on both write and read so that in-memory mutation
+    of live objects can never retroactively alter "disk" contents.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str = "disk",
+        write_ms: float = 15.0,
+        read_ms: float = 8.0,
+        flush_interval_ms: float = 500.0,
+        metrics: Metrics | None = None,
+    ):
+        self.kernel = kernel
+        self.name = name
+        self.write_ms = write_ms
+        self.read_ms = read_ms
+        self.flush_interval_ms = flush_interval_ms
+        self.metrics = metrics or Metrics()
+        self._stable: dict[str, Any] = {}
+        self._buffer: dict[str, Any] = {}
+        self._deleted_buffer: set[str] = set()
+        self._flusher_scheduled = False
+
+    # ------------------------------------------------------------------ #
+    # write path
+    # ------------------------------------------------------------------ #
+
+    def write(self, key: str, value: Any, sync: bool = True) -> SimFuture:
+        """Store ``value`` under ``key``; future resolves when the call
+        returns control (synchronous writes resolve only once durable)."""
+        self.metrics.incr("disk.writes")
+        value = copy.deepcopy(value)
+        done = self.kernel.create_future()
+        if sync:
+            self.metrics.incr("disk.sync_writes")
+
+            def _commit() -> None:
+                self._stable[key] = value
+                self._buffer.pop(key, None)
+                self._deleted_buffer.discard(key)
+                done.try_set_result(None)
+
+            self.kernel.schedule(self.write_ms, _commit)
+        else:
+            self.metrics.incr("disk.async_writes")
+            self._buffer[key] = value
+            self._deleted_buffer.discard(key)
+            self._arm_flusher()
+            done.set_result(None)
+        return done
+
+    def delete(self, key: str, sync: bool = True) -> SimFuture:
+        """Remove ``key``; same durability semantics as :meth:`write`."""
+        self.metrics.incr("disk.deletes")
+        done = self.kernel.create_future()
+        if sync:
+            def _commit() -> None:
+                self._stable.pop(key, None)
+                self._buffer.pop(key, None)
+                done.try_set_result(None)
+
+            self.kernel.schedule(self.write_ms, _commit)
+        else:
+            self._buffer.pop(key, None)
+            self._deleted_buffer.add(key)
+            self._arm_flusher()
+            done.set_result(None)
+        return done
+
+    def _arm_flusher(self) -> None:
+        if self._flusher_scheduled:
+            return
+        self._flusher_scheduled = True
+        self.kernel.schedule(self.flush_interval_ms, self._flush)
+
+    def _flush(self) -> None:
+        self._flusher_scheduled = False
+        if not self._buffer and not self._deleted_buffer:
+            return
+        self.metrics.incr("disk.flushes")
+        self._stable.update(self._buffer)
+        for key in self._deleted_buffer:
+            self._stable.pop(key, None)
+        self._buffer.clear()
+        self._deleted_buffer.clear()
+
+    def sync(self) -> SimFuture:
+        """Force all buffered writes durable (an ``fsync``)."""
+        done = self.kernel.create_future()
+
+        def _commit() -> None:
+            self._flush()
+            done.try_set_result(None)
+
+        self.kernel.schedule(self.write_ms, _commit)
+        return done
+
+    # ------------------------------------------------------------------ #
+    # read path
+    # ------------------------------------------------------------------ #
+
+    def read(self, key: str) -> SimFuture:
+        """Future resolving with a deep copy of the record (or ``None``).
+
+        Reads observe buffered (not-yet-durable) writes, as a real OS page
+        cache would.
+        """
+        self.metrics.incr("disk.reads")
+        done = self.kernel.create_future()
+
+        def _complete() -> None:
+            if key in self._deleted_buffer:
+                value = None
+            elif key in self._buffer:
+                value = self._buffer[key]
+            else:
+                value = self._stable.get(key)
+            done.try_set_result(copy.deepcopy(value))
+
+        self.kernel.schedule(self.read_ms, _complete)
+        return done
+
+    def read_now(self, key: str) -> Any:
+        """Zero-latency read used by recovery code scanning local state."""
+        if key in self._deleted_buffer:
+            return None
+        if key in self._buffer:
+            return copy.deepcopy(self._buffer[key])
+        return copy.deepcopy(self._stable.get(key))
+
+    def keys(self, prefix: str = "") -> list[str]:
+        """All live keys with the given prefix (buffered writes included)."""
+        live = (set(self._stable) | set(self._buffer)) - self._deleted_buffer
+        return sorted(k for k in live if k.startswith(prefix))
+
+    # ------------------------------------------------------------------ #
+    # failure
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        """Lose everything not yet durable."""
+        lost = len(self._buffer) + len(self._deleted_buffer)
+        if lost:
+            self.metrics.incr("disk.lost_on_crash", lost)
+        self._buffer.clear()
+        self._deleted_buffer.clear()
+        self._flusher_scheduled = False
+
+    @property
+    def stable_keys(self) -> int:
+        """Number of durable records (diagnostics)."""
+        return len(self._stable)

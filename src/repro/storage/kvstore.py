@@ -1,0 +1,54 @@
+"""Namespaced view over a :class:`~repro.storage.disk.Disk`.
+
+Each Deceit server keeps several kinds of non-volatile state (§3.5): replica
+data + replica state + version pair, token state, and the file-handle →
+local-name map.  Giving each its own :class:`KvStore` namespace keeps those
+concerns separate while sharing one simulated disk (and its latency/crash
+behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim import SimFuture
+from repro.storage.disk import Disk
+
+
+class KvStore:
+    """Prefix-scoped convenience wrapper around a disk."""
+
+    def __init__(self, disk: Disk, namespace: str):
+        if "/" in namespace:
+            raise ValueError("namespace must not contain '/'")
+        self.disk = disk
+        self.namespace = namespace
+        self._prefix = namespace + "/"
+
+    def _key(self, key: str) -> str:
+        return self._prefix + key
+
+    def put(self, key: str, value: Any, sync: bool = True) -> SimFuture:
+        """Durable (or buffered, with ``sync=False``) write of ``value``."""
+        return self.disk.write(self._key(key), value, sync=sync)
+
+    def get(self, key: str) -> SimFuture:
+        """Latency-charged read; resolves with the value or ``None``."""
+        return self.disk.read(self._key(key))
+
+    def get_now(self, key: str) -> Any:
+        """Zero-latency read (recovery-time scanning)."""
+        return self.disk.read_now(self._key(key))
+
+    def delete(self, key: str, sync: bool = True) -> SimFuture:
+        """Remove ``key`` with the requested durability."""
+        return self.disk.delete(self._key(key), sync=sync)
+
+    def keys(self) -> list[str]:
+        """All keys in this namespace (prefix stripped)."""
+        start = len(self._prefix)
+        return [k[start:] for k in self.disk.keys(self._prefix)]
+
+    def items_now(self) -> list[tuple[str, Any]]:
+        """Zero-latency snapshot of the whole namespace."""
+        return [(k, self.get_now(k)) for k in self.keys()]

@@ -1,0 +1,210 @@
+"""Cluster harness: assemble simulated Deceit deployments in one call.
+
+Used by the examples, the test suite, and every benchmark.  Two levels:
+
+- :func:`build_core_cluster` — segment servers only (the §5.1 layer), for
+  protocol-level experiments;
+- :func:`build_cluster` — full Deceit servers (segment server + NFS
+  envelope) plus client agents, for end-to-end scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.agent import Agent, AgentConfig
+from repro.core import SegmentServer
+from repro.isis import IsisProcess
+from repro.metrics import Metrics
+from repro.net import LanWanLatency, LatencyModel, Network, UniformLatency
+from repro.nfs import DeceitServer, FileHandle
+from repro.sim import Kernel
+from repro.storage import Disk
+
+
+@dataclass
+class CoreCluster:
+    """A kernel + network + N segment servers, ready for protocol work."""
+
+    kernel: Kernel
+    network: Network
+    metrics: Metrics
+    procs: list[IsisProcess]
+    servers: list[SegmentServer]
+    disks: list[Disk]
+
+    def run(self, awaitable, limit: float = 300_000.0):
+        """Drive the simulation until ``awaitable`` resolves."""
+        return self.kernel.run_until_complete(awaitable, limit=limit)
+
+    def settle(self, ms: float = 500.0) -> None:
+        """Let background work (timers, audits, FD) run for ``ms``."""
+        self.kernel.run(until=self.kernel.now + ms)
+
+    def crash(self, index: int) -> None:
+        """Fail-stop server ``index`` (volatile state lost, disk kept)."""
+        self.procs[index].crash()
+        self.disks[index].crash()
+        self.servers[index].volatile_reset()
+
+    def recover(self, index: int):
+        """Restart server ``index`` and run its recovery protocol."""
+        self.procs[index].recover()
+        return self.kernel.spawn(self.servers[index].recover())
+
+    def partition(self, *groups: set[int]) -> None:
+        """Partition by server index, e.g. ``partition({0, 1}, {2})``."""
+        self.network.partition([{f"s{i}" for i in group} for group in groups])
+
+    def heal(self) -> None:
+        """Remove the partition."""
+        self.network.heal()
+
+
+def build_core_cluster(
+    n_servers: int = 3,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    drop_probability: float = 0.0,
+    fd_timeout_ms: float = 200.0,
+) -> CoreCluster:
+    """Stand up ``n_servers`` segment servers named ``s0`` … ``s{n-1}``.
+
+    Every server joins the cell-wide conflict group at boot (scheduled; run
+    the kernel briefly or await your first operation before relying on it).
+    """
+    kernel = Kernel()
+    metrics = Metrics()
+    network = Network(kernel, latency=latency or UniformLatency(1.0, 3.0),
+                      drop_probability=drop_probability, seed=seed,
+                      metrics=metrics)
+    addrs = [f"s{i}" for i in range(n_servers)]
+    procs: list[IsisProcess] = []
+    servers: list[SegmentServer] = []
+    disks: list[Disk] = []
+    for rank, addr in enumerate(addrs):
+        proc = IsisProcess(network, addr, cell_peers=addrs,
+                           fd_timeout_ms=fd_timeout_ms)
+        disk = Disk(kernel, name=f"{addr}.disk", metrics=metrics)
+        server = SegmentServer(proc, disk, rank, metrics=metrics)
+        proc.set_cell_peers(addrs)
+        proc.start()
+        procs.append(proc)
+        servers.append(server)
+        disks.append(disk)
+    for server in servers:
+        kernel.spawn(server.join_conflict_group())
+        server.start_merge_audit()
+    return CoreCluster(kernel=kernel, network=network, metrics=metrics,
+                       procs=procs, servers=servers, disks=disks)
+
+
+@dataclass
+class Cluster:
+    """A full Deceit deployment: servers + client agents + bootstrapped FS."""
+
+    kernel: Kernel
+    network: Network
+    metrics: Metrics
+    servers: list[DeceitServer]
+    agents: list[Agent]
+    root: FileHandle
+
+    def run(self, awaitable, limit: float = 600_000.0):
+        """Drive the simulation until ``awaitable`` resolves."""
+        return self.kernel.run_until_complete(awaitable, limit=limit)
+
+    def settle(self, ms: float = 500.0) -> None:
+        """Let background work (timers, audits, FD, merges) proceed."""
+        self.kernel.run(until=self.kernel.now + ms)
+
+    def crash(self, index: int) -> None:
+        """Fail-stop server ``index``."""
+        self.servers[index].crash()
+
+    def recover(self, index: int):
+        """Restart server ``index``; returns the recovery task."""
+        return self.servers[index].recover()
+
+    def partition(self, *groups: set[int], agents_with: int = 0) -> None:
+        """Partition servers by index; agents ride with group ``agents_with``."""
+        sets = [{self.servers[i].addr for i in group} for group in groups]
+        sets[agents_with] |= {agent.addr for agent in self.agents}
+        self.network.partition(sets)
+
+    def heal(self) -> None:
+        """Remove the partition."""
+        self.network.heal()
+
+
+def build_cluster(
+    n_servers: int = 3,
+    n_agents: int = 1,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    agent_config: AgentConfig | None = None,
+    fd_timeout_ms: float = 200.0,
+    cell: str = "",
+) -> Cluster:
+    """Stand up a full Deceit cell with a bootstrapped namespace.
+
+    Servers are ``s0`` … (prefixed with ``<cell>/`` when ``cell`` is set);
+    agents are ``c0`` …, all mounted on server 0 initially (failover takes
+    them elsewhere when enabled).
+    """
+    kernel = Kernel()
+    metrics = Metrics()
+    network = Network(kernel, latency=latency or UniformLatency(1.0, 3.0),
+                      seed=seed, metrics=metrics)
+    cluster = _build_cell(kernel, network, metrics, n_servers, n_agents,
+                          agent_config, fd_timeout_ms, cell)
+    return cluster
+
+
+def _build_cell(kernel, network, metrics, n_servers, n_agents,
+                agent_config, fd_timeout_ms, cell) -> Cluster:
+    prefix = f"{cell}." if cell else ""
+    addrs = [f"{prefix}s{i}" for i in range(n_servers)]
+    servers = [
+        DeceitServer(network, addr, cell_peers=addrs, rank=rank,
+                     metrics=metrics, fd_timeout_ms=fd_timeout_ms)
+        for rank, addr in enumerate(addrs)
+    ]
+    for server in servers:
+        server.proc.set_cell_peers(addrs)
+        server.start()
+    root = kernel.run_until_complete(servers[0].bootstrap_namespace(),
+                                     limit=120_000.0)
+    for server in servers[1:]:
+        server.set_root(root)
+    agents = [
+        Agent(network, f"{prefix}c{i}", servers=addrs, config=agent_config)
+        for i in range(n_agents)
+    ]
+    return Cluster(kernel=kernel, network=network, metrics=metrics,
+                   servers=servers, agents=agents, root=root)
+
+
+def build_cells(
+    cells: dict[str, int],
+    n_agents_per_cell: int = 1,
+    seed: int = 0,
+    agent_config: AgentConfig | None = None,
+) -> dict[str, Cluster]:
+    """Multiple independent cells on one wide-area network (§2.2, Figure 3).
+
+    ``cells`` maps cell name → server count.  Intra-cell traffic pays LAN
+    latency, inter-cell traffic pays WAN latency.  Each cell is a fully
+    independent Deceit instantiation with its own namespace; access between
+    cells goes through ``/priv/global/<machine>``.
+    """
+    kernel = Kernel()
+    metrics = Metrics()
+    network = Network(kernel, latency=LanWanLatency(), seed=seed,
+                      metrics=metrics)
+    out: dict[str, Cluster] = {}
+    for name, count in cells.items():
+        out[name] = _build_cell(kernel, network, metrics, count,
+                                n_agents_per_cell, agent_config, 200.0, name)
+    return out

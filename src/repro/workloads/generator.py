@@ -1,0 +1,180 @@
+"""Trace generator for the §2.3 access-pattern assumptions."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class OpKind(Enum):
+    """Client-visible operations, matching the paper's op-mix list."""
+
+    GETATTR = "getattr"
+    LOOKUP = "lookup"
+    READ = "read"
+    WRITE = "write"
+    CREATE = "create"
+    REMOVE = "remove"
+    READDIR = "readdir"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One trace entry: which client touches which file, how, and when."""
+
+    at_ms: float
+    client: int
+    kind: OpKind
+    path: str
+    size: int = 0
+
+
+@dataclass
+class FileProfile:
+    """A synthetic file: its directory, name, and size."""
+
+    path: str
+    size: int
+
+
+@dataclass
+class WorkloadConfig:
+    """Tunable knobs, defaulted to the paper's assumptions.
+
+    The op mix follows §2.3 ("the vast majority of NFS operations are get
+    attribute, lookup, read, and write"); sizes follow "most files are
+    small, i.e. less than 20 kilobytes"; ``dir_zipf_s`` concentrates
+    activity in a few directories; bursts model "long periods of total
+    inactivity punctuated by high activity where they may be rewritten
+    several times in a few minutes".
+    """
+
+    n_clients: int = 4
+    n_dirs: int = 8
+    files_per_dir: int = 12
+    duration_ms: float = 60_000.0
+    mean_interarrival_ms: float = 40.0
+    op_mix: dict[OpKind, float] = field(default_factory=lambda: {
+        OpKind.GETATTR: 0.38,
+        OpKind.LOOKUP: 0.24,
+        OpKind.READ: 0.20,
+        OpKind.WRITE: 0.10,
+        OpKind.CREATE: 0.03,
+        OpKind.REMOVE: 0.02,
+        OpKind.READDIR: 0.03,
+    })
+    median_file_bytes: int = 4096
+    max_file_bytes: int = 20 * 1024   # "most files are small"
+    dir_zipf_s: float = 1.2           # directory-locality skew
+    burst_length: int = 4             # rewrites per write burst
+    write_share_collision_prob: float = 0.01  # concurrent writes are rare
+    seed: int = 0
+
+
+class WorkloadGenerator:
+    """Produces a file population and an operation trace."""
+
+    def __init__(self, config: WorkloadConfig | None = None):
+        self.config = config or WorkloadConfig()
+        self.rng = random.Random(self.config.seed)
+        self.files: list[FileProfile] = []
+        self.dirs: list[str] = []
+        self._build_population()
+
+    def _build_population(self) -> None:
+        cfg = self.config
+        for d in range(cfg.n_dirs):
+            dirpath = f"/dir{d}"
+            self.dirs.append(dirpath)
+            for f in range(cfg.files_per_dir):
+                size = self._file_size()
+                self.files.append(FileProfile(f"{dirpath}/file{f}", size))
+
+    def _file_size(self) -> int:
+        """Log-normal-ish small sizes, capped at the paper's 20 KB bound."""
+        cfg = self.config
+        size = int(self.rng.lognormvariate(
+            mu=_ln(cfg.median_file_bytes), sigma=0.9))
+        return max(64, min(size, cfg.max_file_bytes))
+
+    def _pick_dir_index(self) -> int:
+        """Zipf-like directory choice: activity clusters in few dirs."""
+        cfg = self.config
+        weights = [1.0 / (rank + 1) ** cfg.dir_zipf_s
+                   for rank in range(cfg.n_dirs)]
+        return self.rng.choices(range(cfg.n_dirs), weights=weights)[0]
+
+    def _pick_file(self) -> FileProfile:
+        d = self._pick_dir_index()
+        cfg = self.config
+        index = d * cfg.files_per_dir + self.rng.randrange(cfg.files_per_dir)
+        return self.files[index]
+
+    def _pick_kind(self) -> OpKind:
+        kinds = list(self.config.op_mix)
+        weights = [self.config.op_mix[k] for k in kinds]
+        return self.rng.choices(kinds, weights=weights)[0]
+
+    def generate(self) -> list[Op]:
+        """Produce the trace, sorted by time.
+
+        Writes come in bursts (whole-file rewrites a few times in quick
+        succession); each file has a single "owning" client for writes
+        except with small probability, keeping write sharing rare.
+        """
+        cfg = self.config
+        ops: list[Op] = []
+        owner: dict[str, int] = {}
+        removable: list[str] = []   # files this trace created (safe to remove)
+        t = 0.0
+        while t < cfg.duration_ms:
+            t += self.rng.expovariate(1.0 / cfg.mean_interarrival_ms)
+            client = self.rng.randrange(cfg.n_clients)
+            kind = self._pick_kind()
+            profile = self._pick_file()
+            if kind is OpKind.WRITE:
+                who = owner.setdefault(profile.path, client)
+                if who != client and self.rng.random() >= cfg.write_share_collision_prob:
+                    client = who  # keep write sharing very rare (§2.3)
+                burst_t = t
+                for _n in range(self.rng.randint(1, cfg.burst_length)):
+                    ops.append(Op(burst_t, client, OpKind.WRITE,
+                                  profile.path, profile.size))
+                    burst_t += self.rng.uniform(5.0, 50.0)
+                t = burst_t
+            elif kind is OpKind.READDIR:
+                dirpath = profile.path.rsplit("/", 1)[0]
+                ops.append(Op(t, client, kind, dirpath))
+            elif kind is OpKind.CREATE:
+                fresh = f"{profile.path}.new{len(ops)}"
+                removable.append(fresh)
+                ops.append(Op(t, client, kind, fresh, self._file_size()))
+            elif kind is OpKind.REMOVE:
+                # only remove files this trace created, so later ops never
+                # reference a deleted file (real traces don't either)
+                if not removable:
+                    ops.append(Op(t, client, OpKind.GETATTR,
+                                  profile.path, profile.size))
+                else:
+                    ops.append(Op(t, client, kind, removable.pop()))
+            else:
+                ops.append(Op(t, client, kind, profile.path, profile.size))
+        ops.sort(key=lambda op: op.at_ms)
+        return ops
+
+    def summary(self) -> dict[str, float]:
+        """Population facts a benchmark can print alongside results."""
+        sizes = sorted(f.size for f in self.files)
+        return {
+            "files": len(self.files),
+            "dirs": len(self.dirs),
+            "median_bytes": sizes[len(sizes) // 2],
+            "max_bytes": sizes[-1],
+            "under_20k_fraction": sum(s <= 20 * 1024 for s in sizes) / len(sizes),
+        }
+
+
+def _ln(x: float) -> float:
+    import math
+    return math.log(x)

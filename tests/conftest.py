@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import Metrics
+from repro.net import Network, UniformLatency
+from repro.sim import Kernel
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """Fresh simulation kernel."""
+    return Kernel()
+
+
+@pytest.fixture
+def network(kernel: Kernel) -> Network:
+    """Network with mild latency jitter and no loss, seeded for determinism."""
+    return Network(kernel, latency=UniformLatency(1.0, 4.0), seed=42, metrics=Metrics())
+
+
+def run(kernel: Kernel, awaitable, limit: float = 60_000.0):
+    """Drive the kernel until ``awaitable`` resolves (virtual-time bounded)."""
+    return kernel.run_until_complete(awaitable, limit=limit)

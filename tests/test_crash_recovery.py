@@ -1,0 +1,405 @@
+"""Crash-scenario tests: the recovery protocols of §3.5–§3.6.
+
+Each test reproduces one of the paper's named scenarios: non-token replica
+crash, token crash, partition with and without divergent writes, stability
+notification under failure, write-safety-0 data loss, and the availability
+policies.
+"""
+
+import pytest
+
+from repro.core import FileParams, WriteOp
+from repro.core.params import Availability
+from repro.errors import WriteUnavailable
+from repro.testbed import build_core_cluster
+
+
+def test_non_token_replica_crash_obsolete_copy_destroyed():
+    """§3.6 "Non-token Replica Crash": a recovering replica that missed
+    updates finds itself obsolete and destroys (then repairs) its copy."""
+    cluster = build_core_cluster(3)
+    s0 = cluster.servers[0]
+
+    async def main():
+        sid = await s0.create(params=FileParams(min_replicas=2), data=b"v0")
+        cluster.crash(1)
+        await cluster.kernel.sleep(800.0)  # view change expels s1
+        await s0.write(sid, WriteOp(kind="append", data=b"+v1"))
+        await cluster.kernel.sleep(200.0)
+        await cluster.recover(1)
+        await cluster.kernel.sleep(1500.0)  # recovery + repair fetch
+        return sid
+
+    sid = cluster.run(main())
+    cluster.settle(1000.0)
+    # s1 either destroyed its obsolete copy or repaired to current data
+    rep = cluster.servers[1].replicas.get((sid, next(iter(
+        m for (s, m) in cluster.servers[1].replicas if s == sid), 0)))
+    if rep is not None:
+        assert rep.data == b"v0+v1"
+
+    async def check():
+        return (await cluster.servers[1].read(sid)).data
+
+    assert cluster.run(check()) == b"v0+v1"
+
+
+def test_server_recovery_resurrects_sole_group():
+    """All servers crash; the replica holder resurrects the group from disk."""
+    cluster = build_core_cluster(2)
+    s0 = cluster.servers[0]
+
+    async def create():
+        return await s0.create(data=b"durable")
+
+    sid = cluster.run(create())
+    cluster.crash(0)
+    cluster.settle(500.0)
+    cluster.run(cluster.recover(0))
+    cluster.settle(500.0)
+
+    async def read_back():
+        return (await s0.read(sid)).data
+
+    assert cluster.run(read_back()) == b"durable"
+
+
+def test_token_crash_new_token_generated_high_availability():
+    """§3.6 "Token Crash": writes continue via a freshly generated token."""
+    cluster = build_core_cluster(3)
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=2,
+                              write_availability=Availability.HIGH),
+            data=b"base",
+        )
+        cluster.crash(0)  # token holder dies
+        await cluster.kernel.sleep(800.0)
+        await s1.write(sid, WriteOp(kind="append", data=b"+after"))
+        return sid, (await s1.read(sid)).data
+
+    sid, data = cluster.run(main())
+    assert data == b"base+after"
+    assert cluster.metrics.get("deceit.tokens_generated") == 1
+
+
+def test_token_crash_recovering_holder_destroys_old_version():
+    """The old token holder notes the new version descends from its own and
+    destroys the old version and all of its replicas (§3.6)."""
+    cluster = build_core_cluster(3)
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=2,
+                              write_availability=Availability.HIGH),
+            data=b"base",
+        )
+        cluster.crash(0)
+        await cluster.kernel.sleep(800.0)
+        await s1.write(sid, WriteOp(kind="append", data=b"+new"))
+        await cluster.kernel.sleep(200.0)
+        await cluster.recover(0)
+        await cluster.kernel.sleep(1500.0)
+        versions = await s1.list_versions(sid)
+        return sid, versions, (await s0.read(sid)).data
+
+    sid, versions, data = cluster.run(main())
+    assert len(versions) == 1          # old major destroyed, only successor lives
+    assert data == b"base+new"
+    assert cluster.metrics.get("deceit.conflicts_logged") == 0
+
+
+def test_partition_no_writes_token_side_reads_continue():
+    """§3.6 "Partition": reads on the token side proceed normally."""
+    cluster = build_core_cluster(3)
+    s0, s2 = cluster.servers[0], cluster.servers[2]
+
+    async def main():
+        sid = await s0.create(params=FileParams(min_replicas=3), data=b"steady")
+        cluster.partition({0, 1}, {2})
+        await cluster.kernel.sleep(800.0)
+        result = await s0.read(sid)
+        return sid, result.data
+
+    sid, data = cluster.run(main())
+    assert data == b"steady"
+
+
+def test_partition_writes_on_non_token_side_generate_version():
+    cluster = build_core_cluster(3)
+    s0, s2 = cluster.servers[0], cluster.servers[2]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=3,
+                              write_availability=Availability.HIGH),
+            data=b"base",
+        )
+        cluster.partition({0, 1}, {2})
+        await cluster.kernel.sleep(800.0)
+        await s2.write(sid, WriteOp(kind="append", data=b"+minority"))
+        return sid, (await s2.read(sid)).data
+
+    sid, data = cluster.run(main())
+    assert data == b"base+minority"
+    assert cluster.metrics.get("deceit.tokens_generated") == 1
+
+
+def test_partition_concurrent_writes_both_versions_kept_and_logged():
+    """§3.6 hard case: updates on both sides → incomparable versions kept,
+    conflict logged to the well-known file."""
+    cluster = build_core_cluster(3)
+    s0, s2 = cluster.servers[0], cluster.servers[2]
+
+    async def diverge():
+        sid = await s0.create(
+            params=FileParams(min_replicas=3,
+                              write_availability=Availability.HIGH),
+            data=b"base",
+        )
+        cluster.partition({0, 1}, {2})
+        await cluster.kernel.sleep(800.0)
+        await s0.write(sid, WriteOp(kind="append", data=b"+left"))
+        await s2.write(sid, WriteOp(kind="append", data=b"+right"))
+        return sid
+
+    sid = cluster.run(diverge())
+    cluster.heal()
+    cluster.settle(500.0)
+    # simulate the recovering side rejoining: s2 re-runs recovery
+    cluster.run(cluster.kernel.spawn(cluster.servers[2].recover()))
+    cluster.settle(1000.0)
+
+    async def inspect():
+        versions = await s0.list_versions(sid)
+        return versions
+
+    versions = cluster.run(inspect())
+    assert len(versions) == 2  # both incomparable versions live
+    conflicts = cluster.servers[0].conflicts.records(sid)
+    assert len(conflicts) >= 1
+
+
+def test_reconcile_versions_after_conflict():
+    """User-level resolution: keep one version, drop the other (§3.6)."""
+    cluster = build_core_cluster(3)
+    s0, s2 = cluster.servers[0], cluster.servers[2]
+
+    async def diverge():
+        sid = await s0.create(
+            params=FileParams(min_replicas=3,
+                              write_availability=Availability.HIGH),
+            data=b"base",
+        )
+        cluster.partition({0, 1}, {2})
+        await cluster.kernel.sleep(800.0)
+        await s0.write(sid, WriteOp(kind="append", data=b"+left"))
+        await s2.write(sid, WriteOp(kind="append", data=b"+right"))
+        return sid
+
+    sid = cluster.run(diverge())
+    cluster.heal()
+    cluster.settle(500.0)
+    cluster.run(cluster.kernel.spawn(cluster.servers[2].recover()))
+    cluster.settle(1000.0)
+
+    async def resolve():
+        versions = await s0.list_versions(sid)
+        keep = max(versions)  # arbitrary user choice
+        dropped = await s0.reconcile_versions(sid, keep=keep)
+        await cluster.kernel.sleep(300.0)
+        return dropped, await s0.list_versions(sid)
+
+    dropped, remaining = cluster.run(resolve())
+    assert len(dropped) == 1
+    assert len(remaining) == 1
+    assert cluster.servers[0].conflicts.records(sid) == []
+
+
+def test_availability_low_blocks_writes_when_token_lost():
+    cluster = build_core_cluster(3)
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=2,
+                              write_availability=Availability.LOW),
+            data=b"frozen",
+        )
+        cluster.crash(0)
+        await cluster.kernel.sleep(800.0)
+        with pytest.raises(WriteUnavailable):
+            await s1.write(sid, WriteOp(kind="append", data=b"x"))
+        # reads still work from the surviving replica
+        return (await s1.read(sid)).data
+
+    assert cluster.run(main()) == b"frozen"
+    assert cluster.metrics.get("deceit.tokens_generated") == 0
+
+
+def test_availability_medium_minority_side_cannot_write():
+    cluster = build_core_cluster(3)
+    s0, s2 = cluster.servers[0], cluster.servers[2]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=3,
+                              write_availability=Availability.MEDIUM),
+            data=b"guarded",
+        )
+        cluster.partition({0, 1}, {2})
+        await cluster.kernel.sleep(800.0)
+        with pytest.raises(WriteUnavailable):
+            await s2.write(sid, WriteOp(kind="append", data=b"x"))
+        return True
+
+    assert cluster.run(main())
+    assert cluster.metrics.get("deceit.tokens_generated") == 0
+
+
+def test_availability_medium_majority_side_can_write():
+    cluster = build_core_cluster(3)
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=3,
+                              write_availability=Availability.MEDIUM),
+            data=b"base",
+        )
+        cluster.partition({0, 1}, {2})
+        await cluster.kernel.sleep(800.0)
+        # s1 is on the majority side with the token holder s0 unreachable? no —
+        # s0 is with s1; writes just flow through the existing token
+        await s1.write(sid, WriteOp(kind="append", data=b"+maj"))
+        return (await s1.read(sid)).data
+
+    assert cluster.run(main()) == b"base+maj"
+
+
+def test_availability_medium_token_generation_on_majority_side():
+    """Token holder isolated in the minority: the majority side can mint a
+    new token because it can reach a majority of replicas."""
+    cluster = build_core_cluster(3)
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=3,
+                              write_availability=Availability.MEDIUM),
+            data=b"base",
+        )
+        cluster.partition({0}, {1, 2})  # token holder s0 isolated
+        await cluster.kernel.sleep(800.0)
+        await s1.write(sid, WriteOp(kind="append", data=b"+new-token"))
+        return (await s1.read(sid)).data
+
+    assert cluster.run(main()) == b"base+new-token"
+    assert cluster.metrics.get("deceit.tokens_generated") == 1
+
+
+def test_write_safety_zero_loses_unsynced_update_on_crash():
+    """§4: safety 0 = asynchronous unsafe writes."""
+    cluster = build_core_cluster(2)
+    s0 = cluster.servers[0]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(write_safety=0, stability_notification=False),
+            data=b"durable",
+        )
+        await cluster.disks[0].sync()
+        await s0.write(sid, WriteOp(kind="append", data=b"+volatile"))
+        return sid
+
+    sid = cluster.run(main())
+    cluster.crash(0)  # before the async flush interval
+    cluster.settle(200.0)
+    cluster.run(cluster.recover(0))
+    cluster.settle(500.0)
+
+    async def read_back():
+        return (await cluster.servers[0].read(sid)).data
+
+    assert cluster.run(read_back()) == b"durable"  # the append was lost
+
+
+def test_write_safety_one_survives_crash():
+    cluster = build_core_cluster(2)
+    s0 = cluster.servers[0]
+
+    async def main():
+        sid = await s0.create(params=FileParams(write_safety=1), data=b"durable")
+        await s0.write(sid, WriteOp(kind="append", data=b"+safe"))
+        return sid
+
+    sid = cluster.run(main())
+    cluster.crash(0)
+    cluster.settle(200.0)
+    cluster.run(cluster.recover(0))
+    cluster.settle(500.0)
+
+    async def read_back():
+        return (await cluster.servers[0].read(sid)).data
+
+    assert cluster.run(read_back()) == b"durable+safe"
+
+
+def test_replica_loss_detected_and_replenished_on_update():
+    """§3.1 method 1: the token holder counts update replies and creates
+    new replicas when the count drops below the minimum level."""
+    cluster = build_core_cluster(4)
+    s0 = cluster.servers[0]
+
+    async def main():
+        sid = await s0.create(params=FileParams(min_replicas=3), data=b"r")
+        cluster.crash(1)  # one replica holder dies
+        await cluster.kernel.sleep(800.0)
+        await s0.write(sid, WriteOp(kind="append", data=b"!"))
+        await cluster.kernel.sleep(2000.0)  # audit fires, replenish runs
+        return await s0.locate_replicas(sid)
+
+    located = cluster.run(main())
+    assert len(located["holders"]) >= 3
+    assert "s3" in located["holders"]  # the spare was drafted
+    assert cluster.metrics.get("deceit.replica_loss_detected") >= 1
+
+
+def test_no_replenish_without_updates():
+    """§3.1: "If there are no updates, replicas may become unavailable and
+    later available without causing a new replica to be generated." """
+    cluster = build_core_cluster(4)
+    s0 = cluster.servers[0]
+
+    async def main():
+        sid = await s0.create(params=FileParams(min_replicas=3), data=b"calm")
+        cluster.crash(1)
+        await cluster.kernel.sleep(3000.0)  # plenty of idle time, no writes
+        return await s0.locate_replicas(sid)
+
+    located = cluster.run(main())
+    assert "s3" not in located["holders"]
+    assert cluster.metrics.get("deceit.replica_loss_detected") == 0
+
+
+def test_stability_recovery_after_holder_crash_mid_stream():
+    """§3.6 "Stability Notification in the Presence of Failure"."""
+    cluster = build_core_cluster(3)
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(params=FileParams(min_replicas=3, write_safety=3),
+                              data=b"")
+        await s0.write(sid, WriteOp(kind="append", data=b"burst"))
+        # crash the token holder inside the unstable window (< quiet period)
+        cluster.crash(0)
+        await cluster.kernel.sleep(800.0)
+        result = await s1.read(sid)
+        return result.data
+
+    data = cluster.run(main())
+    assert data == b"burst"
+    assert cluster.metrics.get("deceit.stability_recoveries") >= 1

@@ -1,0 +1,233 @@
+"""Integration tests for ISIS process groups: membership, views, transfer."""
+
+import pytest
+
+from repro.errors import GroupNotFound
+from repro.isis import IsisProcess, View
+from repro.net import Network, UniformLatency
+from repro.metrics import Metrics
+from repro.sim import Kernel
+from tests.conftest import run
+
+
+class RecorderApp:
+    """GroupApp that logs deliveries and view changes, replies with its addr."""
+
+    def __init__(self, addr):
+        self.addr = addr
+        self.delivered = []          # (group, sender, payload)
+        self.views = []              # (group, members, joined, left)
+        self.state = {}              # group -> app state
+
+    async def deliver(self, group, sender, payload):
+        self.delivered.append((group, sender, payload))
+        return {"ack_from": self.addr}
+
+    def view_change(self, group, view, joined, left):
+        self.views.append((group, list(view.members), list(joined), list(left)))
+
+    def get_group_state(self, group):
+        return {"counter": self.state.get(group, 0), "from": self.addr}
+
+    def set_group_state(self, group, state):
+        self.state[group] = state["counter"]
+
+
+def make_cell(kernel, n, seed=7):
+    network = Network(kernel, latency=UniformLatency(1.0, 3.0), seed=seed,
+                      metrics=Metrics())
+    addrs = [f"s{i}" for i in range(n)]
+    procs = []
+    for addr in addrs:
+        p = IsisProcess(network, addr, cell_peers=addrs)
+        p.set_app(RecorderApp(addr))
+        p.set_cell_peers(addrs)
+        p.start()
+        procs.append(p)
+    return network, procs
+
+
+def test_create_group_sole_member(kernel):
+    _net, (p0, *_rest) = make_cell(kernel, 3)
+    view = p0.create_group("g")
+    assert view.members == ("s0",)
+    assert view.coordinator == "s0"
+    assert p0.app.views == [("g", ["s0"], ["s0"], [])]
+
+
+def test_join_group_via_locate(kernel):
+    _net, (p0, p1, p2) = make_cell(kernel, 3)
+    p0.create_group("g")
+
+    async def main():
+        await p1.join_group("g")
+        await p2.join_group("g")
+        return p0.members("g"), p1.members("g"), p2.members("g")
+
+    m0, m1, m2 = run(kernel, main())
+    assert m0 == m1 == m2 == ("s0", "s1", "s2")
+
+
+def test_join_unknown_group_raises(kernel):
+    _net, (p0, p1, _p2) = make_cell(kernel, 3)
+
+    async def main():
+        with pytest.raises(GroupNotFound):
+            await p1.join_group("nonexistent")
+        return True
+
+    assert run(kernel, main())
+
+
+def test_state_transfer_to_joiner(kernel):
+    _net, (p0, p1, _p2) = make_cell(kernel, 3)
+    p0.create_group("g")
+    p0.app.state["g"] = 41
+
+    async def main():
+        await p1.join_group("g")
+        return p1.app.state.get("g")
+
+    assert run(kernel, main()) == 41
+
+
+def test_leave_group_shrinks_view(kernel):
+    _net, (p0, p1, p2) = make_cell(kernel, 3)
+    p0.create_group("g")
+
+    async def main():
+        await p1.join_group("g")
+        await p2.join_group("g")
+        await p1.leave_group("g")
+        await kernel.sleep(50.0)
+        return p0.members("g"), p1.is_member("g"), p2.members("g")
+
+    m0, p1_in, m2 = run(kernel, main())
+    assert m0 == m2 == ("s0", "s2")
+    assert not p1_in
+
+
+def test_coordinator_leaves_successor_takes_over(kernel):
+    _net, (p0, p1, p2) = make_cell(kernel, 3)
+    p0.create_group("g")
+
+    async def main():
+        await p1.join_group("g")
+        await p2.join_group("g")
+        await p0.leave_group("g")
+        await kernel.sleep(50.0)
+        return p1.current_view("g"), p2.current_view("g")
+
+    v1, v2 = run(kernel, main())
+    assert v1.members == v2.members == ("s1", "s2")
+    assert v1.coordinator == "s1"
+
+
+def test_member_crash_triggers_view_change(kernel):
+    _net, (p0, p1, p2) = make_cell(kernel, 3)
+    p0.create_group("g")
+
+    async def main():
+        await p1.join_group("g")
+        await p2.join_group("g")
+        p2.crash()
+        await kernel.sleep(1000.0)  # FD timeout + view change
+        return p0.members("g"), p1.members("g")
+
+    m0, m1 = run(kernel, main())
+    assert m0 == m1 == ("s0", "s1")
+
+
+def test_coordinator_crash_successor_runs_change(kernel):
+    _net, (p0, p1, p2) = make_cell(kernel, 3)
+    p0.create_group("g")
+
+    async def main():
+        await p1.join_group("g")
+        await p2.join_group("g")
+        p0.crash()
+        await kernel.sleep(1000.0)
+        return p1.current_view("g"), p2.current_view("g")
+
+    v1, v2 = run(kernel, main())
+    assert v1.members == v2.members == ("s1", "s2")
+    assert v1.coordinator == "s1"
+
+
+def test_view_ids_monotonic(kernel):
+    _net, (p0, p1, p2) = make_cell(kernel, 3)
+    p0.create_group("g")
+
+    async def main():
+        await p1.join_group("g")
+        v_after_1 = p0.current_view("g").view_id
+        await p2.join_group("g")
+        v_after_2 = p0.current_view("g").view_id
+        return v_after_1, v_after_2
+
+    v1, v2 = run(kernel, main())
+    assert v2 > v1 >= 1
+
+
+def test_crashed_member_rejoin_gets_fresh_state(kernel):
+    _net, (p0, p1, _p2) = make_cell(kernel, 3)
+    p0.create_group("g")
+    p0.app.state["g"] = 7
+
+    async def main():
+        await p1.join_group("g")
+        p1.crash()
+        await kernel.sleep(1000.0)
+        p1.recover()
+        assert not p1.is_member("g")  # volatile group state was lost
+        await p1.join_group("g")
+        return p1.members("g"), p1.app.state.get("g")
+
+    members, state = run(kernel, main())
+    assert members == ("s0", "s1")
+    assert state == 7
+
+
+def test_partition_each_side_installs_own_view(kernel):
+    net, (p0, p1, p2) = make_cell(kernel, 3)
+    p0.create_group("g")
+
+    async def main():
+        await p1.join_group("g")
+        await p2.join_group("g")
+        net.partition([{"s0", "s1"}, {"s2"}])
+        await kernel.sleep(1500.0)
+        return p0.members("g"), p1.members("g"), p2.members("g")
+
+    m0, m1, m2 = run(kernel, main())
+    assert m0 == m1 == ("s0", "s1")
+    assert m2 == ("s2",)  # minority side continues alone (partition-tolerant)
+
+
+def test_view_object_api():
+    view = View("g", 3, ("a", "b", "c"))
+    assert view.coordinator == "a"
+    assert view.contains("b")
+    nxt = view.successor(leaving={"a"}, joining=("d",))
+    assert nxt.view_id == 4
+    assert nxt.members == ("b", "c", "d")
+    assert nxt.coordinator == "b"
+
+
+def test_empty_view_coordinator_raises():
+    with pytest.raises(ValueError):
+        View("g", 1, ()).coordinator
+
+
+def test_group_names_listing(kernel):
+    _net, (p0, p1, _p2) = make_cell(kernel, 3)
+    p0.create_group("g1")
+    p0.create_group("g2")
+
+    async def main():
+        await p1.join_group("g1")
+        return p0.group_names(), p1.group_names()
+
+    names0, names1 = run(kernel, main())
+    assert names0 == ["g1", "g2"]
+    assert names1 == ["g1"]

@@ -1,0 +1,231 @@
+"""Unit tests for the simulated network: datagrams, RPC, crash, partition."""
+
+import pytest
+
+from repro.errors import RpcTimeout, Unreachable
+from repro.net import ConstantLatency, LanWanLatency, Network, Node, RpcRemoteError
+from repro.net.message import Message, MsgKind
+from repro.sim import Kernel
+from tests.conftest import run
+
+
+class Echo(Node):
+    """Test node: records datagrams, serves an 'echo' and 'fail' RPC."""
+
+    def __init__(self, network, addr):
+        super().__init__(network, addr)
+        self.inbox = []
+        self.register_handler("echo", self._echo)
+        self.register_handler("fail", self._fail)
+        self.register_handler("slow", self._slow)
+
+    async def _echo(self, src, value):
+        return {"from": self.addr, "value": value}
+
+    async def _fail(self, src):
+        raise ValueError("deliberate")
+
+    async def _slow(self, src, delay):
+        await self.kernel.sleep(delay)
+        return "done"
+
+    def on_message(self, msg):
+        self.inbox.append(msg.payload)
+
+
+def test_datagram_delivery(kernel, network):
+    a = Echo(network, "a")
+    b = Echo(network, "b")
+    a.send("b", {"hello": 1})
+    kernel.run()
+    assert b.inbox == [{"hello": 1}]
+
+
+def test_rpc_roundtrip(kernel, network):
+    a = Echo(network, "a")
+    Echo(network, "b")
+
+    async def main():
+        return await a.call("b", "echo", value=7)
+
+    assert run(kernel, main()) == {"from": "b", "value": 7}
+
+
+def test_rpc_remote_error_surfaces(kernel, network):
+    a = Echo(network, "a")
+    Echo(network, "b")
+
+    async def main():
+        with pytest.raises(RpcRemoteError, match="deliberate"):
+            await a.call("b", "fail")
+        return True
+
+    assert run(kernel, main())
+
+
+def test_rpc_unknown_method(kernel, network):
+    a = Echo(network, "a")
+    Echo(network, "b")
+
+    async def main():
+        with pytest.raises(RpcRemoteError, match="NoSuchMethod"):
+            await a.call("b", "nonexistent")
+        return True
+
+    assert run(kernel, main())
+
+
+def test_rpc_timeout_on_crashed_destination(kernel, network):
+    a = Echo(network, "a")
+    b = Echo(network, "b")
+    b.crash()
+
+    async def main():
+        with pytest.raises(RpcTimeout):
+            await a.call("b", "echo", value=1, timeout=50.0)
+        return kernel.now
+
+    assert run(kernel, main()) == pytest.approx(50.0)
+
+
+def test_rpc_timeout_on_slow_handler(kernel, network):
+    a = Echo(network, "a")
+    Echo(network, "b")
+
+    async def main():
+        with pytest.raises(RpcTimeout):
+            await a.call("b", "slow", delay=500.0, timeout=50.0)
+
+    run(kernel, main())
+
+
+def test_crash_loses_in_flight_handler_reply(kernel, network):
+    """A server that crashes while serving never replies (fail-stop)."""
+    a = Echo(network, "a")
+    b = Echo(network, "b")
+
+    async def main():
+        fut = a.rpc("b", "slow", {"delay": 100.0}, timeout=300.0)
+        await kernel.sleep(50.0)
+        b.crash()
+        with pytest.raises(RpcTimeout):
+            await fut
+
+    run(kernel, main())
+
+
+def test_recovered_node_serves_again(kernel, network):
+    a = Echo(network, "a")
+    b = Echo(network, "b")
+    b.crash()
+    b.recover()
+
+    async def main():
+        return await a.call("b", "echo", value=9)
+
+    assert run(kernel, main())["value"] == 9
+
+
+def test_partition_blocks_cross_group_traffic(kernel, network):
+    a = Echo(network, "a")
+    b = Echo(network, "b")
+    c = Echo(network, "c")
+    network.partition([{"a", "b"}, {"c"}])
+
+    async def main():
+        assert (await a.call("b", "echo", value=1))["value"] == 1
+        with pytest.raises(RpcTimeout):
+            await a.call("c", "echo", value=2, timeout=50.0)
+
+    run(kernel, main())
+    assert not network.reachable("a", "c")
+    assert network.reachable("a", "b")
+
+
+def test_partition_is_symmetric(kernel, network):
+    Echo(network, "a")
+    Echo(network, "b")
+    network.partition([{"a"}, {"b"}])
+    assert not network.reachable("a", "b")
+    assert not network.reachable("b", "a")
+
+
+def test_heal_restores_connectivity(kernel, network):
+    a = Echo(network, "a")
+    Echo(network, "b")
+    network.partition([{"a"}, {"b"}])
+    network.heal()
+
+    async def main():
+        return await a.call("b", "echo", value=3)
+
+    assert run(kernel, main())["value"] == 3
+
+
+def test_partition_overlap_rejected(kernel, network):
+    Echo(network, "a")
+    with pytest.raises(ValueError):
+        network.partition([{"a"}, {"a", "b"}])
+
+
+def test_message_in_flight_when_partition_starts_is_lost(kernel, network):
+    a = Echo(network, "a")
+    b = Echo(network, "b")
+    a.send("b", "late")
+    network.partition([{"a"}, {"b"}])  # before delivery event fires
+    kernel.run()
+    assert b.inbox == []
+    assert network.metrics.get("net.lost_unreachable") == 1
+
+
+def test_drop_probability_loses_messages(kernel):
+    network = Network(kernel, latency=ConstantLatency(1.0), drop_probability=1.0, seed=1)
+    a = Echo(network, "a")
+    b = Echo(network, "b")
+    a.send("b", "x")
+    kernel.run()
+    assert b.inbox == []
+    assert network.metrics.get("net.dropped") == 1
+
+
+def test_message_metrics_counted(kernel, network):
+    a = Echo(network, "a")
+    Echo(network, "b")
+
+    async def main():
+        await a.call("b", "echo", value=1)
+
+    run(kernel, main())
+    assert network.metrics.get("net.msgs") == 2  # request + reply
+    assert network.metrics.get("net.msgs.rpc_req") == 1
+    assert network.metrics.get("net.msgs.rpc_reply") == 1
+
+
+def test_duplicate_address_rejected(kernel, network):
+    Echo(network, "a")
+    with pytest.raises(ValueError):
+        Echo(network, "a")
+
+
+def test_constant_latency_charges_bytes():
+    model = ConstantLatency(base_ms=2.0, per_byte_ms=0.001)
+    import random
+    assert model.delay("a", "b", 1000, random.Random(0)) == pytest.approx(3.0)
+
+
+def test_lanwan_latency_site_split():
+    model = LanWanLatency(lan_ms=2.0, wan_ms=40.0)
+    import random
+    rng = random.Random(0)
+    assert model.delay("cornell.s1", "cornell.s2", 0, rng) == 2.0
+    assert model.delay("cornell.s1", "mit.s1", 0, rng) == 40.0
+
+
+def test_trace_records_messages(kernel, network):
+    network.trace = []
+    a = Echo(network, "a")
+    Echo(network, "b")
+    a.send("b", "x", tag="test")
+    kernel.run()
+    assert len(network.trace) == 1
+    assert network.trace[0].tag == "test"

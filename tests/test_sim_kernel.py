@@ -1,0 +1,198 @@
+"""Unit tests for the discrete-event kernel and coroutine runtime."""
+
+import pytest
+
+from repro.sim import Kernel, SimTimeoutError, TaskCancelled
+from tests.conftest import run
+
+
+def test_virtual_time_advances_per_event(kernel):
+    fired = []
+    kernel.schedule(10.0, lambda: fired.append(kernel.now))
+    kernel.schedule(5.0, lambda: fired.append(kernel.now))
+    kernel.run()
+    assert fired == [5.0, 10.0]
+
+
+def test_equal_time_events_fire_in_schedule_order(kernel):
+    order = []
+    for i in range(5):
+        kernel.schedule(1.0, order.append, i)
+    kernel.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_negative_delay_rejected(kernel):
+    with pytest.raises(ValueError):
+        kernel.schedule(-1.0, lambda: None)
+
+
+def test_call_at_past_rejected(kernel):
+    kernel.schedule(5.0, lambda: None)
+    kernel.run()
+    with pytest.raises(ValueError):
+        kernel.call_at(1.0, lambda: None)
+
+
+def test_cancel_prevents_firing(kernel):
+    fired = []
+    handle = kernel.schedule(1.0, fired.append, 1)
+    handle.cancel()
+    kernel.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_run_until_limit_stops_clock_at_limit(kernel):
+    fired = []
+    kernel.schedule(100.0, fired.append, 1)
+    kernel.run(until=50.0)
+    assert kernel.now == 50.0
+    assert fired == []
+    kernel.run()
+    assert fired == [1]
+
+
+def test_sleep_advances_clock(kernel):
+    async def main():
+        await kernel.sleep(25.0)
+        return kernel.now
+
+    assert run(kernel, main()) == 25.0
+
+
+def test_task_returns_value(kernel):
+    async def main():
+        return 42
+
+    assert run(kernel, main()) == 42
+
+
+def test_task_exception_propagates(kernel):
+    async def boom():
+        await kernel.sleep(1.0)
+        raise ValueError("boom")
+
+    async def main():
+        with pytest.raises(ValueError, match="boom"):
+            await kernel.spawn(boom())
+        return "caught"
+
+    assert run(kernel, main()) == "caught"
+
+
+def test_nested_task_await(kernel):
+    async def inner(x):
+        await kernel.sleep(1.0)
+        return x * 2
+
+    async def outer():
+        a = await kernel.spawn(inner(3))
+        b = await kernel.spawn(inner(a))
+        return b
+
+    assert run(kernel, outer()) == 12
+
+
+def test_wait_for_times_out(kernel):
+    async def main():
+        never = kernel.create_future()
+        with pytest.raises(SimTimeoutError):
+            await kernel.wait_for(never, 10.0)
+        return kernel.now
+
+    assert run(kernel, main()) == 10.0
+
+
+def test_wait_for_passes_result_through(kernel):
+    async def quick():
+        await kernel.sleep(1.0)
+        return "ok"
+
+    async def main():
+        return await kernel.wait_for(quick(), 100.0)
+
+    assert run(kernel, main()) == "ok"
+
+
+def test_all_of_collects_in_order(kernel):
+    async def delayed(value, delay):
+        await kernel.sleep(delay)
+        return value
+
+    async def main():
+        futs = [kernel.spawn(delayed(i, 10.0 - i)) for i in range(3)]
+        return await kernel.all_of(futs)
+
+    # results follow input order even though completion order is reversed
+    assert run(kernel, main()) == [0, 1, 2]
+
+
+def test_all_of_empty(kernel):
+    async def main():
+        return await kernel.all_of([])
+
+    assert run(kernel, main()) == []
+
+
+def test_any_of_returns_first(kernel):
+    async def delayed(value, delay):
+        await kernel.sleep(delay)
+        return value
+
+    async def main():
+        futs = [kernel.spawn(delayed("slow", 50.0)), kernel.spawn(delayed("fast", 5.0))]
+        return await kernel.any_of(futs)
+
+    assert run(kernel, main()) == "fast"
+
+
+def test_task_cancellation_raises_inside(kernel):
+    progress = []
+
+    async def victim():
+        progress.append("start")
+        await kernel.sleep(100.0)
+        progress.append("never")
+
+    async def main():
+        task = kernel.spawn(victim())
+        await kernel.sleep(1.0)
+        task.cancel()
+        with pytest.raises(TaskCancelled):
+            await task
+        return progress
+
+    assert run(kernel, main()) == ["start"]
+
+
+def test_future_single_assignment(kernel):
+    fut = kernel.create_future()
+    fut.set_result(1)
+    with pytest.raises(RuntimeError):
+        fut.set_result(2)
+    assert fut.try_set_result(3) is False
+    assert fut.result() == 1
+
+
+def test_deadlock_detected(kernel):
+    async def main():
+        await kernel.create_future()  # never resolved
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        run(kernel, main())
+
+
+def test_run_until_complete_respects_limit(kernel):
+    async def main():
+        await kernel.sleep(10_000.0)
+
+    with pytest.raises(SimTimeoutError):
+        kernel.run_until_complete(main(), limit=100.0)
+
+
+def test_events_processed_counter(kernel):
+    for _ in range(7):
+        kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    assert kernel.events_processed == 7

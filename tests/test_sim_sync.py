@@ -1,0 +1,92 @@
+"""Unit tests for cooperative Lock and Event."""
+
+import pytest
+
+from repro.sim.sync import Event, Lock
+from tests.conftest import run
+
+
+def test_lock_mutual_exclusion(kernel):
+    lock = Lock(kernel)
+    trace = []
+
+    async def worker(name, hold):
+        await lock.acquire()
+        try:
+            trace.append(f"{name}+")
+            await kernel.sleep(hold)
+            trace.append(f"{name}-")
+        finally:
+            lock.release()
+
+    async def main():
+        tasks = [kernel.spawn(worker("a", 5.0)), kernel.spawn(worker("b", 5.0))]
+        await kernel.all_of(tasks)
+
+    run(kernel, main())
+    # no interleaving: each worker completes before the next enters
+    assert trace == ["a+", "a-", "b+", "b-"]
+
+
+def test_lock_fifo_order(kernel):
+    lock = Lock(kernel)
+    order = []
+
+    async def worker(i):
+        await lock.acquire()
+        order.append(i)
+        lock.release()
+
+    async def main():
+        await lock.acquire()
+        tasks = [kernel.spawn(worker(i)) for i in range(4)]
+        await kernel.sleep(1.0)
+        lock.release()
+        await kernel.all_of(tasks)
+
+    run(kernel, main())
+    assert order == [0, 1, 2, 3]
+
+
+def test_release_unheld_lock_raises(kernel):
+    lock = Lock(kernel)
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+def test_event_wakes_all_waiters(kernel):
+    event = Event(kernel)
+    woken = []
+
+    async def waiter(i):
+        await event.wait()
+        woken.append(i)
+
+    async def main():
+        tasks = [kernel.spawn(waiter(i)) for i in range(3)]
+        await kernel.sleep(5.0)
+        assert woken == []
+        event.set()
+        await kernel.all_of(tasks)
+
+    run(kernel, main())
+    assert sorted(woken) == [0, 1, 2]
+
+
+def test_event_wait_after_set_is_immediate(kernel):
+    event = Event(kernel)
+    event.set()
+
+    async def main():
+        start = kernel.now
+        await event.wait()
+        return kernel.now - start
+
+    assert run(kernel, main()) == 0.0
+
+
+def test_event_clear_rearms(kernel):
+    event = Event(kernel)
+    event.set()
+    event.clear()
+    assert not event.is_set

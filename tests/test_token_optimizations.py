@@ -1,0 +1,147 @@
+"""Tests for the two §3.3 token-protocol optimizations.
+
+The paper describes both and notes "Deceit currently uses neither"; we
+implement them behind flags that default off, and verify (a) they preserve
+correctness and (b) they save the communication they promise to save.
+"""
+
+from repro.core import FileParams, WriteOp
+from repro.testbed import build_core_cluster
+
+
+def _payload_msgs(cluster):
+    m = cluster.metrics
+    return m.get("net.msgs") - m.get("net.msgs.tag.heartbeat")
+
+
+def test_piggyback_off_by_default():
+    cluster = build_core_cluster(3)
+    assert all(not s.token_piggyback for s in cluster.servers)
+
+
+def test_forwarded_single_write_does_not_move_token():
+    """Optimization 2: the update travels; the token stays put."""
+    cluster = build_core_cluster(3)
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(params=FileParams(min_replicas=2), data=b"")
+        await s1.write(sid, WriteOp(kind="append", data=b"fwd"),
+                       single_update_hint=True)
+        located = await s1.locate_replicas(sid)
+        data = (await s0.read(sid)).data
+        return located, data
+
+    located, data = cluster.run(main())
+    assert located["token_holder"] == "s0"   # token never moved
+    assert data == b"fwd"
+    assert cluster.metrics.get("deceit.forwarded_writes") == 1
+    assert cluster.metrics.get("deceit.token_passes") == 0
+
+
+def test_forwarded_write_falls_back_when_holder_dead():
+    cluster = build_core_cluster(3)
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=2, write_availability="high"
+                              if False else FileParams().write_availability),
+            data=b"x")
+        await s0.setparam(sid, write_availability="high")
+        cluster.crash(0)
+        await cluster.kernel.sleep(800.0)
+        # hint set, but holder unreachable: falls back and still succeeds
+        await s1.write(sid, WriteOp(kind="append", data=b"!"),
+                       single_update_hint=True)
+        return (await s1.read(sid)).data
+
+    assert cluster.run(main()) == b"x!"
+
+
+def test_forwarded_write_version_advances_for_caller():
+    cluster = build_core_cluster(2)
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(params=FileParams(min_replicas=2), data=b"")
+        v1 = await s1.write(sid, WriteOp(kind="append", data=b"a"),
+                            single_update_hint=True)
+        v2 = await s1.write(sid, WriteOp(kind="append", data=b"b"),
+                            single_update_hint=True)
+        return v1, v2
+
+    v1, v2 = cluster.run(main())
+    assert v2.sub == v1.sub + 1
+
+
+def test_piggyback_applies_update_at_all_replicas():
+    """Optimization 1: the update rides the token request/pass."""
+    cluster = build_core_cluster(3)
+    for server in cluster.servers:
+        server.token_piggyback = True
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=3, write_safety=3,
+                              stability_notification=False),
+            data=b"base-")
+        await s1.write(sid, WriteOp(kind="append", data=b"rider"))
+        await cluster.kernel.sleep(300.0)
+        datas = [srv.replicas[(sid, major)].data
+                 for srv in cluster.servers
+                 for (s, major) in srv.replicas if s == sid]
+        located = await s1.locate_replicas(sid)
+        return datas, located
+
+    datas, located = cluster.run(main())
+    assert all(d == b"base-rider" for d in datas) and len(datas) == 3
+    assert located["token_holder"] == "s1"  # requester got the token
+    assert cluster.metrics.get("deceit.piggybacked_updates") == 1
+
+
+def test_piggyback_saves_a_round():
+    """First write from a non-holder: piggyback merges request+update."""
+    def first_write_msgs(piggyback: bool) -> int:
+        cluster = build_core_cluster(3, seed=9)
+        for server in cluster.servers:
+            server.token_piggyback = piggyback
+        s0, s1 = cluster.servers[0], cluster.servers[1]
+
+        async def main():
+            sid = await s0.create(
+                params=FileParams(min_replicas=3, write_safety=1,
+                                  stability_notification=False),
+                data=b"")
+            await cluster.kernel.sleep(100.0)
+            before = _payload_msgs(cluster)
+            await s1.write(sid, WriteOp(kind="append", data=b"x"))
+            await cluster.kernel.sleep(50.0)
+            return _payload_msgs(cluster) - before
+
+        return cluster.run(main())
+
+    with_opt = first_write_msgs(True)
+    without = first_write_msgs(False)
+    assert with_opt < without
+
+
+def test_piggyback_preserves_subsequent_stream():
+    """After the piggybacked head, the stream continues via the new holder."""
+    cluster = build_core_cluster(3)
+    for server in cluster.servers:
+        server.token_piggyback = True
+    s0, s1 = cluster.servers[0], cluster.servers[1]
+
+    async def main():
+        sid = await s0.create(
+            params=FileParams(min_replicas=3, stability_notification=False),
+            data=b"")
+        for ch in (b"a", b"b", b"c"):
+            await s1.write(sid, WriteOp(kind="append", data=ch))
+        return (await s0.read(sid)).data
+
+    assert cluster.run(main()) == b"abc"
+    # exactly one token movement for the whole stream
+    assert cluster.metrics.get("deceit.token_passes") == 1

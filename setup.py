@@ -1,4 +1,8 @@
-"""Legacy setup shim: enables `pip install -e . --no-use-pep517` offline."""
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` offline.
+
+All package metadata lives in ``pyproject.toml`` (the [project] table);
+setuptools reads it from there for both build paths.
+"""
 from setuptools import setup
 
 setup()

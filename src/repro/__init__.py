@@ -5,20 +5,27 @@ file system built on the ISIS toolkit whose thesis is **per-file tunable
 semantics**: every file carries five parameters trading availability,
 performance, and consistency, with plain-NFS behaviour as the default.
 
-This package is a full reimplementation on a discrete-event simulation:
+This package is a full reimplementation on a discrete-event simulation
+(see ``ARCHITECTURE.md`` for the layer diagram):
 
 - :mod:`repro.sim` — virtual-time kernel with async/await coroutines;
 - :mod:`repro.net` — network with latency, loss, crashes, and partitions;
-- :mod:`repro.storage` — non-volatile stores with sync/async durability;
+- :mod:`repro.storage` — non-volatile stores with a group-commit engine
+  for synchronous writes and an asynchronous write-behind buffer;
 - :mod:`repro.isis` — virtually synchronous process groups (the substrate);
-- :mod:`repro.core` — the segment server: tokens, replication, stability
-  notification, version pairs (the paper's contribution);
+- :mod:`repro.core` — the segment layer: a thin
+  :class:`~repro.core.segment_server.SegmentServer` facade over the
+  :mod:`repro.core.pipeline` services (catalog metadata, replica store +
+  versioned read cache, read/update hot paths, conflict directory, crash
+  recovery) plus the token / replication / stability protocol mixins;
 - :mod:`repro.nfs` — the NFS file-service envelope and server facade;
-- :mod:`repro.agent` — client agents (caching, failover, shortcuts);
+- :mod:`repro.agent` — client agents (version-validated caching,
+  failover, shortcuts);
 - :mod:`repro.baseline` — the plain-NFS comparison system;
 - :mod:`repro.workloads` — synthetic workloads per the paper's §2.3
   operational assumptions;
-- :mod:`repro.testbed` — one-call cluster/cell builders.
+- :mod:`repro.testbed` — one-call cluster/cell builders;
+- :mod:`repro.cli` — the ``repro`` console entry point (quickstart demo).
 
 Quickstart::
 

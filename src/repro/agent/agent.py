@@ -44,6 +44,10 @@ class AgentConfig:
     shortcut: bool = False
     attr_ttl_ms: float = 3000.0
     data_ttl_ms: float = 3000.0
+    #: After the TTL expires, revalidate the cached copy by version pair
+    #: instead of refetching the payload: the server answers "unchanged"
+    #: (no data bytes) when the segment is still at the cached version.
+    version_validate: bool = True
 
 
 class Agent(Node):
@@ -64,7 +68,8 @@ class Agent(Node):
         self.current = 0
         self.root_fh: FileHandle | None = None
         self._attr_cache: dict[str, tuple[FileAttrs, float]] = {}
-        self._data_cache: dict[str, tuple[bytes, float]] = {}
+        # fh -> (data, expiry, version pair or None)
+        self._data_cache: dict[str, tuple[bytes, float, tuple | None]] = {}
         self._handle_cache: dict[str, FileHandle] = {}
         self._location_cache: dict[str, str] = {}
         self.metrics = network.metrics
@@ -186,20 +191,36 @@ class Agent(Node):
         return await self.lookup_path(path_or_fh)
 
     async def read_file(self, path_or_fh: str | FileHandle) -> bytes:
-        """Whole-file read (the dominant access pattern, §2.3)."""
+        """Whole-file read (the dominant access pattern, §2.3).
+
+        Served from the agent cache while the TTL is fresh; once it lapses
+        the cached copy is *revalidated by version pair* rather than thrown
+        away — the server replies "unchanged" without payload bytes when
+        the file is still at the cached version (version-exact
+        invalidation, §3.5's version inquiry put to work).
+        """
         fh = await self._resolve(path_or_fh)
         key = fh.encode()
+        cached = self._data_cache.get(key) if self.config.cache else None
+        if cached and cached[1] > self.kernel.now:
+            self.metrics.incr("agent.data_cache_hits")
+            return cached[0]
         if self.config.cache:
-            cached = self._data_cache.get(key)
-            if cached and cached[1] > self.kernel.now:
-                self.metrics.incr("agent.data_cache_hits")
-                return cached[0]
+            self.metrics.incr("agent.data_cache_misses")
+        args: dict[str, Any] = {"fh": key}
+        if cached and cached[2] is not None and self.config.version_validate:
+            args["verify"] = list(cached[2])
         to = await self._shortcut_target(fh)
-        reply = await self._nfs("read", {"fh": key}, to=to)
-        data = reply["data"]
+        reply = await self._nfs("read", args, to=to)
+        version = tuple(reply["version"]) if "version" in reply else None
+        if reply.get("unchanged") and cached:
+            self.metrics.incr("agent.data_cache_revalidations")
+            data = cached[0]
+        else:
+            data = reply["data"]
         if self.config.cache:
             self._data_cache[key] = (data, self.kernel.now +
-                                     self.config.data_ttl_ms)
+                                     self.config.data_ttl_ms, version)
         return data
 
     async def _shortcut_target(self, fh: FileHandle) -> str | None:

@@ -207,12 +207,18 @@ class BaselineNfsServer(Node):
         node = _Inode(ino, ftype, meta)
         self._inodes[ino] = node
         parent.entries[name] = ino
-        await self._persist(parent)
-        await self._persist(node)
+        # parent directory and new inode ride one write-behind batch
+        await self._store.put_batch(
+            [self._record(parent), self._record(node)], sync=False)
         return {"status": 0, "fh": self._fh(ino), "attrs": node.attrs().to_wire()}
 
-    async def _persist(self, node: _Inode) -> None:
-        await self._store.put(f"ino/{node.ino}", {
+    @staticmethod
+    def _record(node: _Inode) -> tuple[str, dict]:
+        return (f"ino/{node.ino}", {
             "ftype": node.ftype.value, "data": node.data,
             "meta": node.meta, "entries": node.entries,
-        }, sync=False)
+        })
+
+    async def _persist(self, node: _Inode) -> None:
+        key, value = self._record(node)
+        await self._store.put(key, value, sync=False)

@@ -1,0 +1,42 @@
+"""The segment layer's composable hot-path services.
+
+The :class:`~repro.core.segment_server.SegmentServer` facade is assembled
+from four services, each constructible (and unit-testable) without an
+IsisProcess:
+
+- :class:`~repro.core.pipeline.catalog.CatalogService` — segment / file
+  group / major-version metadata, group resurrection;
+- :class:`~repro.core.pipeline.store.ReplicaStore` — local replica and
+  token persistence over ``storage/``, group-commit batching, and the
+  :class:`~repro.core.pipeline.read_cache.VersionedReadCache`;
+- :class:`~repro.core.pipeline.read_path.ReadService` — the read / stat
+  path with request forwarding;
+- :class:`~repro.core.pipeline.update.UpdatePipeline` — the write / token /
+  broadcast path, with background reply auditing;
+- :class:`~repro.core.pipeline.conflict_dir.ConflictDirectory` — the
+  cell-wide well-known conflict file;
+- :class:`~repro.core.pipeline.recovery.RecoveryService` — crash recovery
+  and partition-heal reconciliation (§3.6).
+"""
+
+from repro.core.pipeline.catalog import CatalogService, group_of, sid_of
+from repro.core.pipeline.conflict_dir import ConflictDirectory
+from repro.core.pipeline.read_cache import VersionedReadCache
+from repro.core.pipeline.read_path import ReadResult, ReadService
+from repro.core.pipeline.recovery import RecoveryService
+from repro.core.pipeline.store import ReplicaStore
+from repro.core.pipeline.update import UpdateHooks, UpdatePipeline
+
+__all__ = [
+    "CatalogService",
+    "ConflictDirectory",
+    "ReadResult",
+    "ReadService",
+    "RecoveryService",
+    "ReplicaStore",
+    "UpdateHooks",
+    "UpdatePipeline",
+    "VersionedReadCache",
+    "group_of",
+    "sid_of",
+]

@@ -1,0 +1,73 @@
+"""ConflictDirectory: the cell-wide well-known conflict file (§3.6).
+
+Wraps the :class:`~repro.core.conflicts.ConflictLog` with its group wiring:
+every server joins (or founds) the conflict group at boot, incomparable
+version pairs are logged cell-wide, and reconciliation clears them.
+"""
+
+from __future__ import annotations
+
+from repro.core.conflicts import CONFLICT_GROUP, ConflictLog, ConflictRecord
+from repro.errors import GroupNotFound
+from repro.metrics import Metrics
+
+
+class ConflictDirectory:
+    """Conflict-log service of one segment server."""
+
+    def __init__(self, transport, metrics: Metrics | None = None):
+        self.transport = transport
+        self.kernel = transport.kernel
+        self.metrics = metrics or Metrics()
+        self.log = ConflictLog()
+
+    async def join(self) -> None:
+        """Join (or found) the cell-wide conflict-log group; call at boot."""
+        try:
+            await self.transport.join_group(CONFLICT_GROUP)
+        except GroupNotFound:
+            if not self.transport.is_member(CONFLICT_GROUP):
+                self.transport.create_group(CONFLICT_GROUP)
+
+    async def log_conflict(self, sid: str, majors: tuple[int, ...],
+                           note: str = "") -> None:
+        """Log an incomparable-version event to the well-known file."""
+        record = ConflictRecord(sid=sid, majors=tuple(sorted(majors)),
+                                logged_at=self.kernel.now, note=note)
+        if not self.log.add(record):
+            return
+        self.metrics.incr("deceit.conflicts_logged")
+        if self.transport.is_member(CONFLICT_GROUP):
+            await self.transport.cbcast(
+                CONFLICT_GROUP,
+                {"op": "conflict", "record": record.to_dict()},
+                nreplies=0, tag="conflict",
+            )
+
+    async def log_resolution(self, sid: str) -> None:
+        """Propagate the clearing of a segment's conflict entries."""
+        self.log.resolve(sid)
+        if self.transport.is_member(CONFLICT_GROUP):
+            await self.transport.cbcast(
+                CONFLICT_GROUP,
+                {"op": "conflict_resolved", "sid": sid},
+                nreplies=0, tag="conflict",
+            )
+
+    def deliver(self, payload: dict) -> dict:
+        """Conflict-group multicast handler."""
+        if payload["op"] == "conflict":
+            self.log.add(ConflictRecord.from_dict(payload["record"]))
+        elif payload["op"] == "conflict_resolved":
+            self.log.resolve(payload["sid"])
+        return {"ok": True}
+
+    def state(self) -> dict:
+        return {"conflicts": self.log.state()}
+
+    def load_state(self, state: dict) -> None:
+        self.log.load_state(state["conflicts"])
+
+    def reset(self) -> None:
+        """Volatile state dies with the host."""
+        self.log = ConflictLog()

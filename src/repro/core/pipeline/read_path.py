@@ -1,0 +1,228 @@
+"""ReadService: the read / stat hot path (§2.1 request forwarding, §3.4).
+
+Serves locally when a replica is present and stable — through the
+:class:`~repro.core.pipeline.read_cache.VersionedReadCache`, so only a cold
+version charges disk latency; forwards to the token holder while the file
+is unstable (its replica is, in effect, the primary); forwards to any
+replica holder when no local replica exists, triggering migration when the
+file's parameters ask for it (§3.1 method 4).
+
+Collaborators mirror the :class:`~repro.core.pipeline.update.UpdatePipeline`
+pattern: a transport port, the catalog and store services, and two hooks
+into the stability / replication protocols (``stability_recovery``,
+``request_migration``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.params import FileParams
+from repro.core.pipeline.catalog import CatalogService
+from repro.core.pipeline.store import ReplicaStore
+from repro.core.segment import Replica
+from repro.core.versions import VersionPair
+from repro.errors import NoSuchSegment, ReplicaUnavailable, RpcTimeout
+from repro.metrics import Metrics
+from repro.net.network import RpcRemoteError
+
+READ_FORWARD_TIMEOUT_MS = 400.0
+
+
+@dataclass
+class ReadResult:
+    """What a segment read returns: data plus the version pair (§5.1 —
+    reads return versions so callers can run optimistic transactions)."""
+
+    data: bytes
+    version: VersionPair
+    meta: dict[str, Any]
+    params: FileParams
+    major: int
+    served_by: str
+
+
+class ReadService:
+    """Read-path service of one segment server."""
+
+    def __init__(self, transport, catalog: CatalogService, store: ReplicaStore,
+                 stability_recovery: Callable, request_migration: Callable,
+                 metrics: Metrics | None = None):
+        self.transport = transport
+        self.kernel = transport.kernel
+        self.catalog = catalog
+        self.store = store
+        self.stability_recovery = stability_recovery    # async (sid, major) -> server
+        self.request_migration = request_migration      # (sid, major) -> coroutine
+        self.metrics = metrics or store.metrics
+
+    # ------------------------------------------------------------------ #
+    # entry points
+    # ------------------------------------------------------------------ #
+
+    async def read(self, sid: str, offset: int = 0, count: int | None = None,
+                   version: int | None = None) -> ReadResult:
+        cat = await self.catalog.ensure_group(sid)
+        major = self.catalog.pick_major(cat, version)
+        info = cat.majors[major]
+        replica = self.store.replicas.get((sid, major))
+        me = self.transport.addr
+        self.metrics.incr("deceit.reads")
+
+        if replica is not None:
+            unstable = cat.params.stability_notification and (
+                info.unstable or not replica.stable
+            )
+            if not unstable:
+                return await self.read_local(replica, offset, count)
+            holder = info.holder
+            if holder == me:
+                return await self.read_local(replica, offset, count)
+            if holder is not None:
+                try:
+                    return await self.read_remote(holder, sid, major, offset, count)
+                except (RpcTimeout, RpcRemoteError):
+                    pass
+            source = await self.stability_recovery(sid, major)
+            if source == me:
+                return await self.read_local(self.store.replicas[(sid, major)],
+                                             offset, count)
+            return await self.read_remote(source, sid, major, offset, count)
+
+        # no local replica: forward to a holder (§2.1 request forwarding)
+        self.metrics.incr("deceit.reads_forwarded")
+        last_error: Exception | None = None
+        for holder in sorted(info.holders):
+            if holder == me:
+                continue
+            try:
+                result = await self.read_remote(holder, sid, major, offset, count)
+            except (RpcTimeout, RpcRemoteError) as exc:
+                last_error = exc
+                continue
+            if cat.params.file_migration:
+                self.transport.spawn(self.request_migration(sid, major),
+                                     name=f"{me}:migrate:{sid}")
+            return result
+        raise ReplicaUnavailable(
+            f"{sid}: no replica holder of major {major} reachable"
+        ) from last_error
+
+    async def validate_version(self, sid: str, verify,
+                               version: int | None = None) -> bool:
+        """Version-exact revalidation: is ``verify`` still the current
+        version pair, answerable *without* forwarding?
+
+        Deliberately conservative so the shortcut can never be staler than
+        the read it replaces:
+
+        - a server with **no local replica** always answers False — the
+          plain read path would forward to a holder, and a non-holder's
+          catalog alone could lag (e.g. a dropped multicast);
+        - for stability-notification files (§3.4), an **unstable** major
+          answers False even on a version match, preserving the forwarding
+          to the token holder that one-copy serializability relies on.
+
+        A True answer counts as a read of the local replica (``read_ts``
+        bookkeeping), so revalidation-served files do not look idle to the
+        LRU replica-deletion logic (§3.1).
+        """
+        cat = await self.catalog.ensure_group(sid)
+        major = self.catalog.pick_major(cat, version)
+        info = cat.majors[major]
+        replica = self.store.replicas.get((sid, major))
+        if replica is None:
+            return False
+        if cat.params.stability_notification and \
+                (info.unstable or not replica.stable):
+            return False
+        if list(replica.version.to_tuple()) != list(verify):
+            return False
+        replica.read_ts = self.kernel.now
+        info.read_ts[self.transport.addr] = self.kernel.now
+        return True
+
+    async def stat(self, sid: str, version: int | None = None) -> ReadResult:
+        """Attributes-only read (zero data bytes moved) — the getattr path.
+
+        Attribute blocks are in memory; no disk latency is charged."""
+        cat = await self.catalog.ensure_group(sid)
+        major = self.catalog.pick_major(cat, version)
+        replica = self.store.replicas.get((sid, major))
+        self.metrics.incr("deceit.stats")
+        if replica is not None:
+            result = self.local_result(replica, 0, 0)
+            result.data = b""
+            return result
+        info = cat.majors[major]
+        for holder in sorted(info.holders):
+            if holder == self.transport.addr:
+                continue
+            try:
+                raw = await self.transport.call(
+                    holder, "seg_stat", sid=sid, major=major,
+                    timeout=READ_FORWARD_TIMEOUT_MS, tag="seg_stat")
+            except (RpcTimeout, RpcRemoteError):
+                continue
+            return ReadResult(
+                data=b"", version=VersionPair.from_tuple(raw["version"]),
+                meta=raw["meta"], params=FileParams.from_dict(raw["params"]),
+                major=major, served_by=holder,
+            )
+        raise ReplicaUnavailable(f"{sid}: no holder reachable for stat")
+
+    # ------------------------------------------------------------------ #
+    # local / remote mechanics
+    # ------------------------------------------------------------------ #
+
+    def local_result(self, replica: Replica, offset: int,
+                     count: int | None) -> ReadResult:
+        replica.read_ts = self.kernel.now
+        end = len(replica.data) if count is None else offset + count
+        return ReadResult(
+            data=replica.data[offset:end], version=replica.version,
+            meta=dict(replica.meta), params=replica.params,
+            major=replica.major, served_by=self.transport.addr,
+        )
+
+    async def read_local(self, replica: Replica, offset: int,
+                         count: int | None) -> ReadResult:
+        t0 = self.kernel.now
+        await self.store.touch_read(replica)
+        self.metrics.latency("pipeline.read_ms").record(self.kernel.now - t0)
+        return self.local_result(replica, offset, count)
+
+    async def read_remote(self, server: str, sid: str, major: int,
+                          offset: int, count: int | None) -> ReadResult:
+        raw = await self.transport.call(
+            server, "seg_read", sid=sid, major=major, offset=offset,
+            count=count, timeout=READ_FORWARD_TIMEOUT_MS, tag="seg_read")
+        return ReadResult(
+            data=raw["data"], version=VersionPair.from_tuple(raw["version"]),
+            meta=raw["meta"], params=FileParams.from_dict(raw["params"]),
+            major=major, served_by=server,
+        )
+
+    # ------------------------------------------------------------------ #
+    # RPC handlers (registered by the facade)
+    # ------------------------------------------------------------------ #
+
+    async def handle_read(self, src: str, sid: str, major: int, offset: int,
+                          count: int | None) -> dict:
+        replica = self.store.replicas.get((sid, major))
+        if replica is None:
+            raise NoSuchSegment(f"{sid};{major} not held by {self.transport.addr}")
+        result = await self.read_local(replica, offset, count)
+        cat = self.catalog.get(sid)
+        if cat is not None and major in cat.majors:
+            cat.majors[major].read_ts[self.transport.addr] = self.kernel.now
+        return {"data": result.data, "version": result.version.to_tuple(),
+                "meta": result.meta, "params": result.params.to_dict()}
+
+    async def handle_stat(self, src: str, sid: str, major: int) -> dict:
+        replica = self.store.replicas.get((sid, major))
+        if replica is None:
+            raise NoSuchSegment(f"{sid};{major} not held by {self.transport.addr}")
+        return {"version": replica.version.to_tuple(), "meta": dict(replica.meta),
+                "params": replica.params.to_dict(), "length": len(replica.data)}

@@ -1,0 +1,312 @@
+"""UpdatePipeline: the write / token / broadcast hot path (§3.3, §5.1).
+
+Distributes one update per causal broadcast round from the write-token
+holder, returning to the caller after ``write_safety`` replies while the
+full reply set is audited in the background.  The two §3.3 optimizations
+(forwarded single updates, token-request piggybacking) live here too, as
+does update application at every group member.
+
+The pipeline is built from narrow collaborators so it can be unit tested
+without an IsisProcess facade:
+
+- ``transport`` — ``addr``, ``cbcast``, ``call``, ``members``, ``spawn``,
+  ``reachable(a, b)`` (an :class:`~repro.isis.process.IsisProcess` bound in
+  production, a stub in unit tests);
+- ``catalog`` — a :class:`~repro.core.pipeline.catalog.CatalogService`;
+- ``store`` — a :class:`~repro.core.pipeline.store.ReplicaStore`;
+- ``hooks`` — an :class:`UpdateHooks` bundle of the token / stability /
+  replication callbacks the write path needs (bound to the mixin methods in
+  production, lambdas in unit tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.pipeline.catalog import CatalogService, group_of
+from repro.core.pipeline.store import ReplicaStore
+from repro.core.segment import WriteOp
+from repro.core.versions import VersionPair
+from repro.errors import RpcTimeout, VersionConflict
+from repro.metrics import Metrics
+from repro.net.network import RpcRemoteError
+
+UPDATE_REPLY_TIMEOUT_MS = 400.0
+
+
+@dataclass
+class UpdateHooks:
+    """Callbacks the write path needs from the token/stability/replication
+    protocols (all bound methods of the segment server in production)."""
+
+    ensure_token: Callable      # async (sid, major) -> writable major
+    mark_unstable: Callable     # async (sid, major) -> None
+    schedule_stable: Callable   # (sid, major) -> None
+    pick_lru_victims: Callable  # (sid, major) -> list[holder]
+    update_lock: Callable       # (sid) -> repro.sim.sync.Lock
+    destroy_local_replica: Callable  # async (sid, major) -> None
+    repair_replica: Callable    # (sid, major) -> coroutine (spawned)
+    replenish: Callable         # (sid, major) -> coroutine (spawned)
+    maybe_disable_token: Callable    # (sid, major, replica_replies) -> None
+    #: shared with the token protocol: (sid, major) -> future resolved when
+    #: a token pass addressed to this server arrives
+    token_waits: dict = field(default_factory=dict)
+
+
+class UpdatePipeline:
+    """Write-path service of one segment server."""
+
+    def __init__(self, transport, catalog: CatalogService, store: ReplicaStore,
+                 hooks: UpdateHooks, metrics: Metrics | None = None):
+        self.transport = transport
+        self.kernel = transport.kernel
+        self.catalog = catalog
+        self.store = store
+        self.hooks = hooks
+        self.metrics = metrics or store.metrics
+        #: §3.3 optimization 1 — broadcast the first update of a stream in
+        #: the same message as the token request.  Off by default: "Deceit
+        #: currently uses neither of these optimizations."
+        self.token_piggyback = False
+
+    # ------------------------------------------------------------------ #
+    # the write entry point
+    # ------------------------------------------------------------------ #
+
+    async def write(self, sid: str, op: WriteOp,
+                    guard: VersionPair | None = None,
+                    version: int | None = None,
+                    single_update_hint: bool = False) -> VersionPair:
+        """Distribute one update through the write-token protocol.
+
+        ``guard`` makes the write conditional on the segment still being at
+        that version pair (§5.1 optimistic concurrency): a stale guard
+        raises :class:`VersionConflict` and the caller re-reads and retries.
+
+        ``single_update_hint`` enables §3.3 optimization 2: "pass an update
+        to the current token holder instead of requesting the token if it
+        is likely that there will be only one update" — e.g. a small file
+        overwritten in one shot.  The token does not move.
+
+        Returns the segment's version pair after the update.
+        """
+        t0 = self.kernel.now
+        cat = await self.catalog.ensure_group(sid)
+        major = self.catalog.pick_major(cat, version)
+        if single_update_hint and (sid, major) not in self.store.tokens:
+            forwarded = await self._forward_single_write(sid, major, op, guard)
+            if forwarded is not None:
+                return forwarded
+        if (self.token_piggyback and (sid, major) not in self.store.tokens
+                and guard is None
+                and (not cat.params.stability_notification
+                     or cat.majors[major].unstable)):
+            piggybacked = await self._write_via_piggyback(sid, major, op)
+            if piggybacked is not None:
+                return piggybacked
+        lock = self.hooks.update_lock(sid)
+        await lock.acquire()
+        try:
+            major = await self.hooks.ensure_token(sid, major)
+            token = self.store.tokens[(sid, major)]
+            if guard is not None and token.version != guard:
+                self.metrics.incr("deceit.version_conflicts")
+                raise VersionConflict(guard, token.version)
+            if cat.params.stability_notification and not cat.majors[major].unstable:
+                await self.hooks.mark_unstable(sid, major)
+            new_version = token.version.next_update()
+            drop = self.hooks.pick_lru_victims(sid, major)
+            payload = {
+                "op": "update", "sid": sid, "major": major,
+                "wop": op.to_dict(), "version": new_version.to_tuple(),
+                "drop": drop,
+            }
+            safety = min(cat.params.write_safety,
+                         len(self.transport.members(group_of(sid))))
+            self.metrics.incr("deceit.updates")
+            await self.transport.cbcast(
+                group_of(sid), payload,
+                nreplies=safety,
+                timeout=UPDATE_REPLY_TIMEOUT_MS,
+                size_bytes=max(256, len(op.data)),
+                tag="update",
+                on_audit=lambda replies: self.audit_update(sid, major, replies),
+            )
+            token.version = new_version
+            # async persist: on recovery the holder's replica (written with
+            # the update) is the authority for the token's version
+            await self.store.persist_token(token, sync=False)
+            info = cat.majors[major]
+            info.version = new_version
+            info.last_update_ts = self.kernel.now
+            if cat.params.stability_notification:
+                self.hooks.schedule_stable(sid, major)
+            self.metrics.latency("pipeline.write_ms").record(self.kernel.now - t0)
+            return new_version
+        finally:
+            lock.release()
+
+    # ------------------------------------------------------------------ #
+    # §3.3 optimization 2: forwarded single updates
+    # ------------------------------------------------------------------ #
+
+    async def _forward_single_write(self, sid: str, major: int, op: WriteOp,
+                                    guard: VersionPair | None) -> VersionPair | None:
+        """Hand the update to the current holder; the token does not move.
+
+        Returns the new version pair, or ``None`` when no reachable holder
+        exists (the caller falls back to the normal acquisition path).
+        """
+        cat = self.catalog.catalogs[sid]
+        holder = cat.majors[major].holder
+        me = self.transport.addr
+        if holder is None or holder == me or \
+                not self.transport.reachable(me, holder):
+            return None
+        self.metrics.incr("deceit.forwarded_writes")
+        try:
+            raw = await self.transport.call(
+                holder, "seg_forward_write", sid=sid, major=major,
+                wop=op.to_dict(),
+                guard=guard.to_tuple() if guard is not None else None,
+                timeout=UPDATE_REPLY_TIMEOUT_MS,
+                size_bytes=max(256, len(op.data)), tag="forward_write",
+            )
+        except (RpcTimeout, RpcRemoteError) as exc:
+            if isinstance(exc, RpcRemoteError) and \
+                    exc.error_type == "VersionConflict":
+                raise VersionConflict(guard, None) from exc
+            return None
+        new_version = VersionPair.from_tuple(raw["version"])
+        cat.majors[major].version = new_version
+        return new_version
+
+    async def handle_forward_write(self, src: str, sid: str, major: int,
+                                   wop: dict, guard) -> dict:
+        """RPC handler at the token holder for forwarded single updates."""
+        guard_vp = VersionPair.from_tuple(guard) if guard is not None else None
+        new_version = await self.write(sid, WriteOp.from_dict(wop),
+                                       guard=guard_vp, version=major)
+        return {"version": new_version.to_tuple()}
+
+    # ------------------------------------------------------------------ #
+    # §3.3 optimization 1: update piggybacked on the token request
+    # ------------------------------------------------------------------ #
+
+    async def _write_via_piggyback(self, sid: str, major: int,
+                                   op: WriteOp) -> VersionPair | None:
+        """The update rides the token request broadcast.
+
+        The old holder embeds the update in its token pass; replica holders
+        apply it on pass delivery and acknowledge straight to us, so the
+        write-safety count is preserved.  Returns ``None`` (fall back to
+        the normal path) when the token does not arrive.
+        """
+        proc = self.transport
+        cat = self.catalog.catalogs[sid]
+        if cat.majors[major].holder in (None, proc.addr):
+            return None
+        safety = min(cat.params.write_safety,
+                     len(proc.members(group_of(sid))))
+        req_id = next(proc._collector_ids)
+        collector_fut = self.kernel.create_future()
+        if safety == 0:
+            collector_fut.set_result(None)
+        proc._collectors[req_id] = {
+            "fut": collector_fut, "replies": [], "want": max(safety, 1)}
+        wait = self.kernel.create_future()
+        token_waits = self.hooks.token_waits
+        token_waits[(sid, major)] = wait
+        self.metrics.incr("deceit.token_requests")
+        self.metrics.incr("deceit.updates")
+        try:
+            await proc.cbcast(
+                group_of(sid),
+                {"op": "token_request", "sid": sid, "major": major,
+                 "requester": proc.addr, "piggyback": op.to_dict(),
+                 "reply_req": req_id},
+                nreplies=0, size_bytes=max(256, len(op.data)),
+                tag="token_request",
+            )
+            from repro.sim import SimTimeoutError
+            try:
+                await self.kernel.wait_for(wait, 350.0)
+            except SimTimeoutError:
+                return None  # holder gone: normal path will generate
+            if safety > 0 and not collector_fut.done():
+                try:
+                    await self.kernel.wait_for(collector_fut,
+                                               UPDATE_REPLY_TIMEOUT_MS)
+                except SimTimeoutError:
+                    pass
+        finally:
+            token_waits.pop((sid, major), None)
+            proc._collectors.pop(req_id, None)
+        token = self.store.tokens[(sid, major)]
+        if cat.params.stability_notification:
+            self.hooks.schedule_stable(sid, major)
+        return token.version
+
+    # ------------------------------------------------------------------ #
+    # update delivery (runs at every group member)
+    # ------------------------------------------------------------------ #
+
+    async def deliver_update(self, sid: str, payload: dict) -> dict:
+        major = payload["major"]
+        cat = self.catalog.get(sid)
+        version = VersionPair.from_tuple(payload["version"])
+        me = self.transport.addr
+        if cat is not None and major in cat.majors:
+            info = cat.majors[major]
+            info.version = version
+            info.last_update_ts = self.kernel.now
+        if me in payload.get("drop", []):
+            await self.hooks.destroy_local_replica(sid, major)
+            return {"dropped": True, "have_replica": False}
+        replica = self.store.replicas.get((sid, major))
+        if replica is None:
+            return {"cached": True, "have_replica": False}
+        if replica.version.sub + 1 != version.sub:
+            # missed updates (rejoined mid-stream): self-repair by fetching
+            self.metrics.incr("deceit.update_gaps")
+            self.store.cache.invalidate(sid, major)
+            self.transport.spawn(self.hooks.repair_replica(sid, major),
+                                 name=f"{me}:repair:{sid}")
+            return {"gap": True, "have_replica": True,
+                    "read_ts": replica.read_ts}
+        op = WriteOp.from_dict(payload["wop"])
+        replica.data, replica.meta = op.apply(replica.data, replica.meta)
+        replica.version = version
+        replica.write_ts = self.kernel.now
+        sync = replica.params.write_safety >= 1
+        # persisting writes through the read cache: the old version's entry
+        # is superseded by the new one (version-exact invalidation)
+        await self.store.persist_replica(replica, sync=sync)
+        return {"ok": True, "have_replica": True,
+                "version": version.to_tuple(), "read_ts": replica.read_ts}
+
+    # ------------------------------------------------------------------ #
+    # background audit of the full reply set (§3.1 method 1)
+    # ------------------------------------------------------------------ #
+
+    def audit_update(self, sid: str, major: int, replies: list) -> None:
+        cat = self.catalog.get(sid)
+        if cat is None or major not in cat.majors:
+            return
+        info = cat.majors[major]
+        replica_replies = 0
+        for member, value in replies:
+            if not isinstance(value, dict):
+                continue
+            if value.get("have_replica"):
+                replica_replies += 1
+                if "read_ts" in value:
+                    info.read_ts[member] = value["read_ts"]
+            if value.get("dropped"):
+                info.holders.discard(member)
+        if replica_replies < cat.params.min_replicas:
+            self.metrics.incr("deceit.replica_loss_detected")
+            self.transport.spawn(self.hooks.replenish(sid, major),
+                                 name=f"{self.transport.addr}:replenish:{sid}")
+        self.hooks.maybe_disable_token(sid, major, replica_replies)

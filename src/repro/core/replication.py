@@ -194,6 +194,15 @@ class ReplicationMixin:
         self.metrics.incr("deceit.replicas_installed")
         return {"installed": True}
 
+    async def _repair_replica(self, sid: str, major: int) -> None:
+        """Self-repair after missed updates: refetch from a current holder."""
+        cat = self.catalogs.get(sid)
+        if cat is None or major not in cat.majors:
+            return
+        holders = set(cat.majors[major].holders) - {self.proc.addr}
+        self.replicas.pop((sid, major), None)
+        await self._fetch_replica_from(sid, major, holders)
+
     async def _fetch_replica_from(self, sid: str, major: int,
                                   holders: set[str]) -> Replica | None:
         """Pull a replica of (sid, major) from any reachable holder.

@@ -1,4 +1,4 @@
-"""The distributed reliable segment server (§5.1).
+"""The distributed reliable segment server (§5.1) — now a thin facade.
 
 This is Deceit's lower layer: a flat, reliable, distributed segment service
 with five entry points — ``create``, ``delete``, ``read``, ``write``,
@@ -13,53 +13,50 @@ broadcast round; the write returns to the caller after the first
 ``write_safety`` replies, while the full reply set is audited in the
 background to detect lost replicas.
 
-The class composes three protocol mixins — :class:`~repro.core.tokens.
-TokenMixin`, :class:`~repro.core.replication.ReplicationMixin`,
-:class:`~repro.core.stability.StabilityMixin` — and implements the ISIS
-:class:`~repro.isis.process.GroupApp` interface (message delivery, view
-changes, state transfer).
+The heavy lifting lives in the :mod:`repro.core.pipeline` services the
+facade composes — :class:`~repro.core.pipeline.catalog.CatalogService`
+(metadata), :class:`~repro.core.pipeline.store.ReplicaStore` (persistence,
+group-commit batching, versioned read cache), :class:`~repro.core.pipeline.
+read_path.ReadService` and :class:`~repro.core.pipeline.update.
+UpdatePipeline` (the two hot paths), :class:`~repro.core.pipeline.
+conflict_dir.ConflictDirectory` (the well-known conflict file), and
+:class:`~repro.core.pipeline.recovery.RecoveryService` (§3.6) — plus the
+three protocol mixins (:class:`~repro.core.tokens.TokenMixin`,
+:class:`~repro.core.replication.ReplicationMixin`, :class:`~repro.core.
+stability.StabilityMixin`) and the ISIS :class:`~repro.isis.process.
+GroupApp` interface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
-from repro.core.conflicts import CONFLICT_GROUP, ConflictLog, ConflictRecord
+from repro.core.conflicts import CONFLICT_GROUP, ConflictLog
 from repro.core.params import DEFAULT_PARAMS, FileParams
+from repro.core.pipeline import (
+    CatalogService,
+    ConflictDirectory,
+    ReadResult,
+    ReadService,
+    RecoveryService,
+    ReplicaStore,
+    UpdateHooks,
+    UpdatePipeline,
+    group_of,
+    sid_of,
+)
 from repro.core.replication import ReplicationMixin
 from repro.core.segment import MajorInfo, Replica, SegmentCatalog, Token, WriteOp
 from repro.core.stability import StabilityMixin
 from repro.core.tokens import TokenMixin
-from repro.core.versions import HistoryIndex, MajorAllocator, Relation, VersionPair
-from repro.errors import (
-    NoSuchSegment,
-    ReplicaUnavailable,
-    RpcTimeout,
-    VersionConflict,
-)
-from repro.errors import GroupNotFound
+from repro.core.versions import HistoryIndex, MajorAllocator, VersionPair
+from repro.errors import NoSuchSegment
 from repro.isis import IsisProcess, View
 from repro.metrics import Metrics
-from repro.net.network import RpcRemoteError
 from repro.sim.sync import Lock
-from repro.storage import Disk, KvStore
+from repro.storage import Disk
 
-READ_FORWARD_TIMEOUT_MS = 400.0
-UPDATE_REPLY_TIMEOUT_MS = 400.0
-
-
-@dataclass
-class ReadResult:
-    """What a segment read returns: data plus the version pair (§5.1 —
-    reads return versions so callers can run optimistic transactions)."""
-
-    data: bytes
-    version: VersionPair
-    meta: dict[str, Any]
-    params: FileParams
-    major: int
-    served_by: str
+__all__ = ["ReadResult", "SegmentServer", "WriteOp"]
 
 
 class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
@@ -73,44 +70,85 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
         self.rank = rank
         self.metrics = metrics or proc.network.metrics
         self.alloc = MajorAllocator(rank)
-        self.replicas: dict[tuple[str, int], Replica] = {}
-        self.tokens: dict[tuple[str, int], Token] = {}
-        self.catalogs: dict[str, SegmentCatalog] = {}
-        self.conflicts = ConflictLog()
-        self._store = KvStore(disk, "seg")
         self._token_waits: dict[tuple[str, int], Any] = {}
         self._update_locks: dict[str, Lock] = {}
         self._stable_timers: dict[tuple[str, int], Any] = {}
         self._sid_counter = 0
-        self._merging = False
-        #: §3.3 optimization 1 — broadcast the first update of a stream in
-        #: the same message as the token request.  Off by default: "Deceit
-        #: currently uses neither of these optimizations."
-        self.token_piggyback = False
+        # the composable services (see repro.core.pipeline)
+        self.store = ReplicaStore(self.kernel, disk, self.metrics)
+        self.cat = CatalogService(proc, self.store, self.alloc,
+                                  self.kernel, self.metrics)
+        self.conflict_dir = ConflictDirectory(proc, self.metrics)
+        self.reads = ReadService(proc, self.cat, self.store,
+                                 stability_recovery=self._stability_recovery,
+                                 request_migration=self._request_migration,
+                                 metrics=self.metrics)
+        self.pipeline = UpdatePipeline(
+            proc, self.cat, self.store,
+            UpdateHooks(
+                ensure_token=self._ensure_token,
+                mark_unstable=self._mark_unstable,
+                schedule_stable=self._schedule_stable,
+                pick_lru_victims=self._pick_lru_victims,
+                update_lock=self._update_lock,
+                destroy_local_replica=self._destroy_local_replica,
+                repair_replica=self._repair_replica,
+                replenish=self._replenish,
+                maybe_disable_token=self._maybe_disable_token,
+                token_waits=self._token_waits,
+            ),
+            self.metrics,
+        )
+        self.recovery = RecoveryService(proc, self.cat, self.store,
+                                        self, self.metrics)
         proc.set_app(self)
-        proc.register_handler("seg_read", self._h_read)
+        proc.register_handler("seg_read", self.reads.handle_read)
+        proc.register_handler("seg_stat", self.reads.handle_stat)
         proc.register_handler("seg_forward_write", self._h_forward_write)
-        proc.register_handler("seg_stat", self._h_stat)
         proc.register_handler("seg_fetch", self._h_fetch)
         proc.register_handler("seg_install_replica", self._h_install_replica)
         proc.register_handler("seg_request_replica", self._h_request_replica)
         proc.register_handler("seg_feed", self._h_feed)
-        proc.register_handler("seg_exchange", self._h_exchange)
+        proc.register_handler("seg_exchange", self.recovery.handle_exchange)
         # Partition heal: when a silent peer is heard from again, the sides
         # re-merge their file groups and reconcile versions (§3.6).
-        proc.fd.subscribe(on_alive=self._on_peer_alive)
+        proc.fd.subscribe(on_alive=self.recovery.on_peer_alive)
 
     # ------------------------------------------------------------------ #
-    # small helpers
+    # state shared with the protocol mixins (owned by the services)
     # ------------------------------------------------------------------ #
 
-    @staticmethod
-    def _group_of(sid: str) -> str:
-        return f"fg:{sid}"
+    @property
+    def replicas(self) -> dict[tuple[str, int], Replica]:
+        return self.store.replicas
 
-    @staticmethod
-    def _sid_of(group: str) -> str:
-        return group[3:]
+    @property
+    def tokens(self) -> dict[tuple[str, int], Token]:
+        return self.store.tokens
+
+    @property
+    def catalogs(self) -> dict[str, SegmentCatalog]:
+        return self.cat.catalogs
+
+    @property
+    def conflicts(self) -> ConflictLog:
+        return self.conflict_dir.log
+
+    @property
+    def token_piggyback(self) -> bool:
+        """§3.3 optimization 1 switch (lives on the update pipeline)."""
+        return self.pipeline.token_piggyback
+
+    @token_piggyback.setter
+    def token_piggyback(self, value: bool) -> None:
+        self.pipeline.token_piggyback = value
+
+    # ------------------------------------------------------------------ #
+    # small helpers (thin delegates the mixins and tests rely on)
+    # ------------------------------------------------------------------ #
+
+    _group_of = staticmethod(group_of)
+    _sid_of = staticmethod(sid_of)
 
     def _update_lock(self, sid: str) -> Lock:
         lock = self._update_locks.get(sid)
@@ -120,93 +158,32 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
         return lock
 
     async def _persist_replica(self, replica: Replica, sync: bool) -> None:
-        await self._store.put(f"rep/{replica.sid}/{replica.major}",
-                              replica.to_dict(), sync=sync)
+        await self.store.persist_replica(replica, sync)
 
     async def _persist_token(self, token: Token) -> None:
-        await self._store.put(f"tok/{token.sid}/{token.major}",
-                              token.to_dict(), sync=True)
+        await self.store.persist_token(token)
 
     async def _delete_token_record(self, sid: str, major: int) -> None:
-        await self._store.delete(f"tok/{sid}/{major}", sync=True)
+        await self.store.delete_token_record(sid, major)
 
     async def _destroy_local_replica(self, sid: str, major: int) -> None:
-        self.replicas.pop((sid, major), None)
-        await self._store.delete(f"rep/{sid}/{major}", sync=True)
-        cat = self.catalogs.get(sid)
+        await self.store.destroy_replica(sid, major)
+        cat = self.cat.get(sid)
         if cat is not None and major in cat.majors:
             cat.majors[major].holders.discard(self.proc.addr)
 
     async def _ensure_group(self, sid: str) -> SegmentCatalog:
-        """Be (or become) a member of the segment's file group."""
-        group = self._group_of(sid)
-        if self.proc.is_member(group) and sid in self.catalogs:
-            return self.catalogs[sid]
-        try:
-            await self.proc.join_group(group)
-        except GroupNotFound:
-            if self._disk_majors(sid):
-                # sole survivor: resurrect the group from our disk state
-                self._resurrect_group(sid)
-            else:
-                raise NoSuchSegment(sid) from None
-        cat = self.catalogs.get(sid)
-        if cat is None:
-            raise NoSuchSegment(sid)
-        return cat
+        return await self.cat.ensure_group(sid)
 
     def _disk_majors(self, sid: str) -> list[int]:
-        prefix = f"rep/{sid}/"
-        return sorted(
-            int(key.rsplit("/", 1)[1])
-            for key in self._store.keys()
-            if key.startswith(prefix)
-        )
-
-    def _resurrect_group(self, sid: str) -> None:
-        """Recreate a file group from local non-volatile state (§3.6)."""
-        group = self._group_of(sid)
-        self.proc.create_group(group)
-        branches = HistoryIndex()
-        majors: dict[int, MajorInfo] = {}
-        params = DEFAULT_PARAMS
-        for major in self._disk_majors(sid):
-            record = self._store.get_now(f"rep/{sid}/{major}")
-            if record is None:
-                continue
-            replica = Replica.from_dict(record)
-            self.replicas[(sid, major)] = replica
-            branches.merge(replica.branches)
-            params = replica.params
-            token_rec = self._store.get_now(f"tok/{sid}/{major}")
-            holder = None
-            if token_rec is not None:
-                token = Token.from_dict(token_rec)
-                # the holder's own replica may be behind the token's version
-                # only by unsynced data lost in the crash; trust the replica
-                token.version = replica.version
-                token.holders = [self.proc.addr]
-                self.tokens[(sid, major)] = token
-                holder = self.proc.addr
-            majors[major] = MajorInfo(
-                major=major, version=replica.version, holder=holder,
-                holders={self.proc.addr}, unstable=not replica.stable,
-                last_update_ts=replica.write_ts,
-            )
-            self.alloc.observe(major)
-        self.catalogs[sid] = SegmentCatalog(sid=sid, params=params,
-                                            branches=branches, majors=majors)
-        self.metrics.incr("deceit.groups_resurrected")
+        return self.store.disk_majors(sid)
 
     def _pick_major(self, cat: SegmentCatalog, version: int | None) -> int:
-        if version is not None:
-            if version not in cat.majors:
-                raise NoSuchSegment(f"{cat.sid};{version}")
-            return version
-        major = cat.latest_major()
-        if major is None:
-            raise NoSuchSegment(cat.sid)
-        return major
+        return self.cat.pick_major(cat, version)
+
+    def restore_counter(self, counter: int) -> None:
+        """Recovery found the durable segment counter; never go backwards."""
+        self._sid_counter = max(self._sid_counter, counter)
 
     # ------------------------------------------------------------------ #
     # public API: create / delete / read / write / setparam (§5.1)
@@ -218,33 +195,31 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
 
         The creating server starts as sole replica holder and token holder;
         if the minimum replica level exceeds one, replicas are placed on
-        ring-ordered peers before returning.
+        ring-ordered peers before returning.  The counter, replica, and
+        token records ride one group-commit batch — a single disk commit.
         """
         params = params or DEFAULT_PARAMS
         self._sid_counter += 1
-        await self._store.put("sid_counter", self._sid_counter, sync=True)
         sid = f"{self.proc.addr}.{self._sid_counter}"
-        group = self._group_of(sid)
-        self.proc.create_group(group)
+        self.proc.create_group(group_of(sid))
         major = self.alloc.next_major()
         version = VersionPair(major, 0)
-        branches = HistoryIndex()
         replica = Replica(sid=sid, major=major, data=data, meta=dict(meta or {}),
-                          version=version, params=params, branches=branches,
+                          version=version, params=params,
+                          branches=HistoryIndex(),
                           read_ts=self.kernel.now, write_ts=self.kernel.now)
-        self.replicas[(sid, major)] = replica
-        await self._persist_replica(replica, sync=True)
         token = Token(sid=sid, major=major, version=version, parent=None,
                       holders=[self.proc.addr])
-        self.tokens[(sid, major)] = token
-        await self._persist_token(token)
-        self.catalogs[sid] = SegmentCatalog(
-            sid=sid, params=params, branches=branches,
+        self.store.replicas[(sid, major)] = replica
+        self.store.tokens[(sid, major)] = token
+        await self.store.persist_new_segment(replica, token, self._sid_counter)
+        self.cat.install(SegmentCatalog(
+            sid=sid, params=params, branches=replica.branches,
             majors={major: MajorInfo(major=major, version=version,
                                      holder=self.proc.addr,
                                      holders={self.proc.addr},
                                      last_update_ts=self.kernel.now)},
-        )
+        ))
         self.metrics.incr("deceit.segments_created")
         if params.min_replicas > 1:
             await self._replenish(sid, major)
@@ -256,329 +231,50 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
         Storage for every affected replica is released group-wide; when the
         last version goes, the file group dissolves and the handle dies.
         """
-        cat = await self._ensure_group(sid)
+        cat = await self.cat.ensure_group(sid)
         targets = [version] if version is not None else sorted(cat.majors)
         for major in targets:
             if major not in cat.majors:
                 continue
             await self.proc.cbcast(
-                self._group_of(sid),
+                group_of(sid),
                 {"op": "delete_major", "sid": sid, "major": major},
                 nreplies="all", tag="delete_major",
             )
         self.metrics.incr("deceit.deletes")
         if not cat.majors:
-            self.catalogs.pop(sid, None)
-            await self.proc.leave_group(self._group_of(sid))
+            self.cat.drop(sid)
+            await self.proc.leave_group(group_of(sid))
 
     async def read(self, sid: str, offset: int = 0, count: int | None = None,
                    version: int | None = None) -> ReadResult:
-        """Read a byte range (default: everything) of a segment version.
-
-        Serves locally when a replica is present and stable; forwards to
-        the token holder while the file is unstable (§3.4); forwards to any
-        replica holder when no local replica exists, triggering migration
-        when the file's parameters ask for it (§3.1 method 4).
-        """
-        cat = await self._ensure_group(sid)
-        major = self._pick_major(cat, version)
-        info = cat.majors[major]
-        replica = self.replicas.get((sid, major))
-        me = self.proc.addr
-        self.metrics.incr("deceit.reads")
-
-        if replica is not None:
-            unstable = cat.params.stability_notification and (
-                info.unstable or not replica.stable
-            )
-            if not unstable:
-                return self._read_local(replica, offset, count)
-            holder = info.holder
-            if holder == me:
-                return self._read_local(replica, offset, count)
-            if holder is not None:
-                try:
-                    return await self._read_remote(holder, sid, major, offset, count)
-                except (RpcTimeout, RpcRemoteError):
-                    pass
-            source = await self._stability_recovery(sid, major)
-            if source == me:
-                return self._read_local(self.replicas[(sid, major)], offset, count)
-            return await self._read_remote(source, sid, major, offset, count)
-
-        # no local replica: forward to a holder (§2.1 request forwarding)
-        self.metrics.incr("deceit.reads_forwarded")
-        last_error: Exception | None = None
-        for holder in sorted(info.holders):
-            if holder == me:
-                continue
-            try:
-                result = await self._read_remote(holder, sid, major, offset, count)
-            except (RpcTimeout, RpcRemoteError) as exc:
-                last_error = exc
-                continue
-            if cat.params.file_migration:
-                self.proc.spawn(self._request_migration(sid, major),
-                                name=f"{me}:migrate:{sid}")
-            return result
-        raise ReplicaUnavailable(
-            f"{sid}: no replica holder of major {major} reachable"
-        ) from last_error
-
-    def _read_local(self, replica: Replica, offset: int,
-                    count: int | None) -> ReadResult:
-        replica.read_ts = self.kernel.now
-        end = len(replica.data) if count is None else offset + count
-        return ReadResult(
-            data=replica.data[offset:end], version=replica.version,
-            meta=dict(replica.meta), params=replica.params,
-            major=replica.major, served_by=self.proc.addr,
-        )
-
-    async def _read_remote(self, server: str, sid: str, major: int,
-                           offset: int, count: int | None) -> ReadResult:
-        raw = await self.proc.call(server, "seg_read", sid=sid, major=major,
-                                   offset=offset, count=count,
-                                   timeout=READ_FORWARD_TIMEOUT_MS, tag="seg_read")
-        return ReadResult(
-            data=raw["data"], version=VersionPair.from_tuple(raw["version"]),
-            meta=raw["meta"], params=FileParams.from_dict(raw["params"]),
-            major=major, served_by=server,
-        )
-
-    async def _h_read(self, src: str, sid: str, major: int, offset: int,
-                      count: int | None) -> dict:
-        replica = self.replicas.get((sid, major))
-        if replica is None:
-            raise NoSuchSegment(f"{sid};{major} not held by {self.proc.addr}")
-        result = self._read_local(replica, offset, count)
-        cat = self.catalogs.get(sid)
-        if cat is not None and major in cat.majors:
-            cat.majors[major].read_ts[self.proc.addr] = self.kernel.now
-        return {"data": result.data, "version": result.version.to_tuple(),
-                "meta": result.meta, "params": result.params.to_dict()}
+        """Read a byte range (default: everything) of a segment version
+        (the :class:`~repro.core.pipeline.read_path.ReadService` hot path)."""
+        return await self.reads.read(sid, offset=offset, count=count,
+                                     version=version)
 
     async def stat(self, sid: str, version: int | None = None) -> ReadResult:
         """Attributes-only read (zero data bytes moved) — the getattr path."""
-        cat = await self._ensure_group(sid)
-        major = self._pick_major(cat, version)
-        replica = self.replicas.get((sid, major))
-        self.metrics.incr("deceit.stats")
-        if replica is not None:
-            result = self._read_local(replica, 0, 0)
-            result.data = b""
-            return result
-        info = cat.majors[major]
-        for holder in sorted(info.holders):
-            if holder == self.proc.addr:
-                continue
-            try:
-                raw = await self.proc.call(holder, "seg_stat", sid=sid,
-                                           major=major, timeout=READ_FORWARD_TIMEOUT_MS,
-                                           tag="seg_stat")
-            except (RpcTimeout, RpcRemoteError):
-                continue
-            return ReadResult(
-                data=b"", version=VersionPair.from_tuple(raw["version"]),
-                meta=raw["meta"], params=FileParams.from_dict(raw["params"]),
-                major=major, served_by=holder,
-            )
-        raise ReplicaUnavailable(f"{sid}: no holder reachable for stat")
+        return await self.reads.stat(sid, version=version)
 
-    async def _h_stat(self, src: str, sid: str, major: int) -> dict:
-        replica = self.replicas.get((sid, major))
-        if replica is None:
-            raise NoSuchSegment(f"{sid};{major} not held by {self.proc.addr}")
-        return {"version": replica.version.to_tuple(), "meta": dict(replica.meta),
-                "params": replica.params.to_dict(), "length": len(replica.data)}
+    async def validate_version(self, sid: str, verify,
+                               version: int | None = None) -> bool:
+        """Whether ``verify`` is still current (False during §3.4 bursts)."""
+        return await self.reads.validate_version(sid, verify, version=version)
 
     async def write(self, sid: str, op: WriteOp,
                     guard: VersionPair | None = None,
                     version: int | None = None,
                     single_update_hint: bool = False) -> VersionPair:
-        """Distribute one update through the write-token protocol.
-
-        ``guard`` makes the write conditional on the segment still being at
-        that version pair (§5.1 optimistic concurrency): a stale guard
-        raises :class:`VersionConflict` and the caller re-reads and retries.
-
-        ``single_update_hint`` enables §3.3 optimization 2: "pass an update
-        to the current token holder instead of requesting the token if it
-        is likely that there will be only one update" — e.g. a small file
-        overwritten in one shot.  The token does not move.
-
-        Returns the segment's version pair after the update.
-        """
-        cat = await self._ensure_group(sid)
-        major = self._pick_major(cat, version)
-        if single_update_hint and (sid, major) not in self.tokens:
-            forwarded = await self._forward_single_write(sid, major, op, guard)
-            if forwarded is not None:
-                return forwarded
-        if (self.token_piggyback and (sid, major) not in self.tokens
-                and guard is None
-                and (not cat.params.stability_notification
-                     or cat.majors[major].unstable)):
-            piggybacked = await self._write_via_piggyback(sid, major, op)
-            if piggybacked is not None:
-                return piggybacked
-        lock = self._update_lock(sid)
-        await lock.acquire()
-        try:
-            major = await self._ensure_token(sid, major)
-            token = self.tokens[(sid, major)]
-            if guard is not None and token.version != guard:
-                self.metrics.incr("deceit.version_conflicts")
-                raise VersionConflict(guard, token.version)
-            if cat.params.stability_notification and not cat.majors[major].unstable:
-                await self._mark_unstable(sid, major)
-            new_version = token.version.next_update()
-            drop = self._pick_lru_victims(sid, major)
-            payload = {
-                "op": "update", "sid": sid, "major": major,
-                "wop": op.to_dict(), "version": new_version.to_tuple(),
-                "drop": drop,
-            }
-            safety = min(cat.params.write_safety,
-                         len(self.proc.members(self._group_of(sid))))
-            self.metrics.incr("deceit.updates")
-            await self.proc.cbcast(
-                self._group_of(sid), payload,
-                nreplies=safety,
-                timeout=UPDATE_REPLY_TIMEOUT_MS,
-                size_bytes=max(256, len(op.data)),
-                tag="update",
-                on_audit=lambda replies: self._audit_update(sid, major, replies),
-            )
-            token.version = new_version
-            # async persist: on recovery the holder's replica (written with
-            # the update) is the authority for the token's version
-            await self._persist_token_async(token)
-            info = cat.majors[major]
-            info.version = new_version
-            info.last_update_ts = self.kernel.now
-            if cat.params.stability_notification:
-                self._schedule_stable(sid, major)
-            return new_version
-        finally:
-            lock.release()
-
-    async def _forward_single_write(self, sid: str, major: int, op: WriteOp,
-                                    guard: VersionPair | None) -> VersionPair | None:
-        """§3.3 optimization 2: hand the update to the current holder.
-
-        Returns the new version pair, or ``None`` when no reachable holder
-        exists (the caller falls back to the normal acquisition path).
-        """
-        cat = self.catalogs[sid]
-        holder = cat.majors[major].holder
-        me = self.proc.addr
-        if holder is None or holder == me or \
-                not self.proc.network.reachable(me, holder):
-            return None
-        self.metrics.incr("deceit.forwarded_writes")
-        try:
-            raw = await self.proc.call(
-                holder, "seg_forward_write", sid=sid, major=major,
-                wop=op.to_dict(),
-                guard=guard.to_tuple() if guard is not None else None,
-                timeout=UPDATE_REPLY_TIMEOUT_MS,
-                size_bytes=max(256, len(op.data)), tag="forward_write",
-            )
-        except (RpcTimeout, RpcRemoteError) as exc:
-            if isinstance(exc, RpcRemoteError) and \
-                    exc.error_type == "VersionConflict":
-                raise VersionConflict(guard, None) from exc
-            return None
-        new_version = VersionPair.from_tuple(raw["version"])
-        cat.majors[major].version = new_version
-        return new_version
+        """Distribute one update through the write-token protocol (the
+        :class:`~repro.core.pipeline.update.UpdatePipeline` hot path)."""
+        return await self.pipeline.write(sid, op, guard=guard, version=version,
+                                         single_update_hint=single_update_hint)
 
     async def _h_forward_write(self, src: str, sid: str, major: int,
                                wop: dict, guard) -> dict:
-        """RPC handler at the token holder for forwarded single updates."""
-        guard_vp = VersionPair.from_tuple(guard) if guard is not None else None
-        new_version = await self.write(sid, WriteOp.from_dict(wop),
-                                       guard=guard_vp, version=major)
-        return {"version": new_version.to_tuple()}
-
-    async def _write_via_piggyback(self, sid: str, major: int,
-                                   op: WriteOp) -> VersionPair | None:
-        """§3.3 optimization 1: update rides the token request broadcast.
-
-        The old holder embeds the update in its token pass; replica holders
-        apply it on pass delivery and acknowledge straight to us, so the
-        write-safety count is preserved.  Returns ``None`` (fall back to
-        the normal path) when the token does not arrive.
-        """
-        cat = self.catalogs[sid]
-        if cat.majors[major].holder in (None, self.proc.addr):
-            return None
-        safety = min(cat.params.write_safety,
-                     len(self.proc.members(self._group_of(sid))))
-        req_id = next(self.proc._collector_ids)
-        collector_fut = self.kernel.create_future()
-        if safety == 0:
-            collector_fut.set_result(None)
-        self.proc._collectors[req_id] = {
-            "fut": collector_fut, "replies": [], "want": max(safety, 1)}
-        wait = self.kernel.create_future()
-        self._token_waits[(sid, major)] = wait
-        self.metrics.incr("deceit.token_requests")
-        self.metrics.incr("deceit.updates")
-        try:
-            await self.proc.cbcast(
-                self._group_of(sid),
-                {"op": "token_request", "sid": sid, "major": major,
-                 "requester": self.proc.addr, "piggyback": op.to_dict(),
-                 "reply_req": req_id},
-                nreplies=0, size_bytes=max(256, len(op.data)),
-                tag="token_request",
-            )
-            from repro.sim import SimTimeoutError
-            try:
-                await self.kernel.wait_for(wait, 350.0)
-            except SimTimeoutError:
-                return None  # holder gone: normal path will generate
-            if safety > 0 and not collector_fut.done():
-                try:
-                    await self.kernel.wait_for(collector_fut,
-                                               UPDATE_REPLY_TIMEOUT_MS)
-                except SimTimeoutError:
-                    pass
-        finally:
-            self._token_waits.pop((sid, major), None)
-            self.proc._collectors.pop(req_id, None)
-        token = self.tokens[(sid, major)]
-        if cat.params.stability_notification:
-            self._schedule_stable(sid, major)
-        return token.version
-
-    async def _persist_token_async(self, token: Token) -> None:
-        await self._store.put(f"tok/{token.sid}/{token.major}",
-                              token.to_dict(), sync=False)
-
-    def _audit_update(self, sid: str, major: int, replies: list) -> None:
-        """Background count of the full reply set (§3.1 method 1)."""
-        cat = self.catalogs.get(sid)
-        if cat is None or major not in cat.majors:
-            return
-        info = cat.majors[major]
-        replica_replies = 0
-        for member, value in replies:
-            if not isinstance(value, dict):
-                continue
-            if value.get("have_replica"):
-                replica_replies += 1
-                if "read_ts" in value:
-                    info.read_ts[member] = value["read_ts"]
-            if value.get("dropped"):
-                info.holders.discard(member)
-        if replica_replies < cat.params.min_replicas:
-            self.metrics.incr("deceit.replica_loss_detected")
-            self.proc.spawn(self._replenish(sid, major),
-                            name=f"{self.proc.addr}:replenish:{sid}")
-        self._maybe_disable_token(sid, major, replica_replies)
+        return await self.pipeline.handle_forward_write(src, sid, major,
+                                                        wop, guard)
 
     async def setparam(self, sid: str, **changes: Any) -> FileParams:
         """Change the segment's semantic parameters (§4).
@@ -587,15 +283,15 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
         changes are ordered with respect to updates; raising the minimum
         replica level triggers replica generation (method 2).
         """
-        cat = await self._ensure_group(sid)
-        major = self._pick_major(cat, None)
+        cat = await self.cat.ensure_group(sid)
+        major = self.cat.pick_major(cat, None)
         lock = self._update_lock(sid)
         await lock.acquire()
         try:
             major = await self._ensure_token(sid, major)
             new_params = cat.params.with_updates(**changes)
             await self.proc.cbcast(
-                self._group_of(sid),
+                group_of(sid),
                 {"op": "setparam", "sid": sid, "params": new_params.to_dict()},
                 nreplies="all", tag="setparam",
             )
@@ -613,20 +309,20 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
     async def get_version(self, sid: str, version: int | None = None) -> VersionPair:
         """Version-pair inquiry ("so the user can determine if a file has
         been modified", §3.5)."""
-        cat = await self._ensure_group(sid)
-        major = self._pick_major(cat, version)
+        cat = await self.cat.ensure_group(sid)
+        major = self.cat.pick_major(cat, version)
         return cat.majors[major].version
 
     async def list_versions(self, sid: str) -> dict[int, VersionPair]:
         """All live majors and their version pairs."""
-        cat = await self._ensure_group(sid)
+        cat = await self.cat.ensure_group(sid)
         return {major: info.version for major, info in sorted(cat.majors.items())}
 
     async def locate_replicas(self, sid: str,
                               version: int | None = None) -> dict[str, Any]:
         """Where the replicas and the token currently live."""
-        cat = await self._ensure_group(sid)
-        major = self._pick_major(cat, version)
+        cat = await self.cat.ensure_group(sid)
+        major = self.cat.pick_major(cat, version)
         info = cat.majors[major]
         return {"major": major, "holders": sorted(info.holders),
                 "token_holder": info.holder, "version": info.version}
@@ -636,13 +332,13 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
 
         Returns the majors deleted.  Clears matching conflict-log entries.
         """
-        cat = await self._ensure_group(sid)
+        cat = await self.cat.ensure_group(sid)
         if keep not in cat.majors:
             raise NoSuchSegment(f"{sid};{keep}")
         drop = [m for m in sorted(cat.majors) if m != keep]
         for major in drop:
             await self.proc.cbcast(
-                self._group_of(sid),
+                group_of(sid),
                 {"op": "delete_major", "sid": sid, "major": major},
                 nreplies="all", tag="delete_major",
             )
@@ -652,41 +348,21 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
         return drop
 
     # ------------------------------------------------------------------ #
-    # conflict log plumbing
+    # conflict log plumbing (delegates to the ConflictDirectory)
     # ------------------------------------------------------------------ #
 
     async def join_conflict_group(self) -> None:
         """Join (or found) the cell-wide conflict-log group; call at boot."""
-        try:
-            await self.proc.join_group(CONFLICT_GROUP)
-        except GroupNotFound:
-            if not self.proc.is_member(CONFLICT_GROUP):
-                self.proc.create_group(CONFLICT_GROUP)
+        await self.conflict_dir.join()
 
     async def log_conflict(self, sid: str, majors: tuple[int, ...],
                            note: str = "") -> None:
         """Log an incomparable-version event to the well-known file (§3.6)."""
-        record = ConflictRecord(sid=sid, majors=tuple(sorted(majors)),
-                                logged_at=self.kernel.now, note=note)
-        if not self.conflicts.add(record):
-            return
-        self.metrics.incr("deceit.conflicts_logged")
-        if self.proc.is_member(CONFLICT_GROUP):
-            await self.proc.cbcast(
-                CONFLICT_GROUP,
-                {"op": "conflict", "record": record.to_dict()},
-                nreplies=0, tag="conflict",
-            )
+        await self.conflict_dir.log_conflict(sid, majors, note)
 
     async def log_conflict_resolution(self, sid: str) -> None:
         """Propagate the clearing of a segment's conflict entries."""
-        self.conflicts.resolve(sid)
-        if self.proc.is_member(CONFLICT_GROUP):
-            await self.proc.cbcast(
-                CONFLICT_GROUP,
-                {"op": "conflict_resolved", "sid": sid},
-                nreplies=0, tag="conflict",
-            )
+        await self.conflict_dir.log_resolution(sid)
 
     # ------------------------------------------------------------------ #
     # GroupApp interface
@@ -695,15 +371,11 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
     async def deliver(self, group: str, sender: str, payload: Any) -> Any:
         """Dispatch one file-group (or conflict-group) multicast."""
         if group == CONFLICT_GROUP:
-            if payload["op"] == "conflict":
-                self.conflicts.add(ConflictRecord.from_dict(payload["record"]))
-            elif payload["op"] == "conflict_resolved":
-                self.conflicts.resolve(payload["sid"])
-            return {"ok": True}
+            return self.conflict_dir.deliver(payload)
         op = payload["op"]
         sid = payload["sid"]
         if op == "update":
-            return await self._deliver_update(sid, payload)
+            return await self.pipeline.deliver_update(sid, payload)
         if op == "token_request":
             return await self._deliver_token_request(
                 sid, payload["major"], payload["requester"],
@@ -728,15 +400,15 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
             return await self._deliver_force_stable(
                 sid, payload["major"], payload["chosen"], payload["version"])
         if op == "state_inquiry":
-            return self._deliver_state_inquiry(sid, payload["major"])
+            return self.cat.deliver_state_inquiry(sid, payload["major"])
         if op == "replica_created":
-            return self._deliver_replica_created(
+            return self.cat.deliver_replica_created(
                 sid, payload["major"], payload["holder"])
         if op == "replica_deleted":
             return await self._deliver_replica_deleted(
                 sid, payload["major"], payload["holder"])
         if op == "replica_recovered":
-            return self._deliver_replica_recovered(
+            return self.cat.deliver_replica_recovered(
                 sid, payload["major"], payload["version"], sender)
         if op == "delete_major":
             return await self._deliver_delete_major(sid, payload["major"])
@@ -744,88 +416,21 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
             return await self._deliver_setparam(sid, payload["params"])
         raise ValueError(f"unknown group op {op!r}")
 
-    async def _deliver_update(self, sid: str, payload: dict) -> dict:
-        major = payload["major"]
-        cat = self.catalogs.get(sid)
-        version = VersionPair.from_tuple(payload["version"])
-        me = self.proc.addr
-        if cat is not None and major in cat.majors:
-            info = cat.majors[major]
-            info.version = version
-            info.last_update_ts = self.kernel.now
-        if me in payload.get("drop", []):
-            await self._destroy_local_replica(sid, major)
-            return {"dropped": True, "have_replica": False}
-        replica = self.replicas.get((sid, major))
-        if replica is None:
-            return {"cached": True, "have_replica": False}
-        if replica.version.sub + 1 != version.sub:
-            # missed updates (rejoined mid-stream): self-repair by fetching
-            self.metrics.incr("deceit.update_gaps")
-            self.proc.spawn(self._repair_replica(sid, major),
-                            name=f"{me}:repair:{sid}")
-            return {"gap": True, "have_replica": True,
-                    "read_ts": replica.read_ts}
-        op = WriteOp.from_dict(payload["wop"])
-        replica.data, replica.meta = op.apply(replica.data, replica.meta)
-        replica.version = version
-        replica.write_ts = self.kernel.now
-        sync = replica.params.write_safety >= 1
-        await self._persist_replica(replica, sync=sync)
-        return {"ok": True, "have_replica": True,
-                "version": version.to_tuple(), "read_ts": replica.read_ts}
-
-    async def _repair_replica(self, sid: str, major: int) -> None:
-        cat = self.catalogs.get(sid)
-        if cat is None or major not in cat.majors:
-            return
-        holders = set(cat.majors[major].holders) - {self.proc.addr}
-        self.replicas.pop((sid, major), None)
-        await self._fetch_replica_from(sid, major, holders)
-
-    def _deliver_state_inquiry(self, sid: str, major: int) -> dict:
-        replica = self.replicas.get((sid, major))
-        if replica is None:
-            return {"have_replica": False}
-        return {"have_replica": True, "stable": replica.stable,
-                "version": replica.version.to_tuple()}
-
-    def _deliver_replica_created(self, sid: str, major: int, holder: str) -> dict:
-        cat = self.catalogs.get(sid)
-        if cat is not None and major in cat.majors:
-            cat.majors[major].holders.add(holder)
-            cat.majors[major].read_ts[holder] = self.kernel.now
-        return {"ok": True}
-
     async def _deliver_replica_deleted(self, sid: str, major: int,
                                        holder: str) -> dict:
-        cat = self.catalogs.get(sid)
+        cat = self.cat.get(sid)
         if cat is not None and major in cat.majors:
             cat.majors[major].holders.discard(holder)
         if holder == self.proc.addr:
             await self._destroy_local_replica(sid, major)
         return {"ok": True}
 
-    def _deliver_replica_recovered(self, sid: str, major: int,
-                                   version: list, sender: str) -> dict:
-        cat = self.catalogs.get(sid)
-        if cat is None:
-            return {"ok": False}
-        info = cat.majors.get(major)
-        if info is None:
-            info = MajorInfo(major=major,
-                             version=VersionPair.from_tuple(version),
-                             holder=None, holders=set())
-            cat.majors[major] = info
-        info.holders.add(sender)
-        return {"ok": True}
-
     async def _deliver_delete_major(self, sid: str, major: int) -> dict:
-        cat = self.catalogs.get(sid)
+        cat = self.cat.get(sid)
         if cat is not None:
             cat.majors.pop(major, None)
-        self.tokens.pop((sid, major), None)
-        await self._delete_token_record(sid, major)
+        self.store.tokens.pop((sid, major), None)
+        await self.store.delete_token_record(sid, major)
         await self._destroy_local_replica(sid, major)
         timer = self._stable_timers.pop((sid, major), None)
         if timer is not None:
@@ -834,13 +439,16 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
 
     async def _deliver_setparam(self, sid: str, params_dict: dict) -> dict:
         params = FileParams.from_dict(params_dict)
-        cat = self.catalogs.get(sid)
+        cat = self.cat.get(sid)
         if cat is not None:
             cat.params = params
-        for (rsid, rmajor), replica in self.replicas.items():
-            if rsid == sid:
-                replica.params = params
-                await self._persist_replica(replica, sync=True)
+        # every local replica of the segment re-persists in one batch commit
+        touched = [replica for (rsid, _m), replica in
+                   self.store.replicas.items() if rsid == sid]
+        for replica in touched:
+            replica.params = params
+        if touched:
+            await self.store.persist_replicas(touched, sync=True)
         return {"ok": True}
 
     def view_change(self, group: str, view: View, joined: list[str],
@@ -853,340 +461,34 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
 
     def get_group_state(self, group: str) -> Any:
         if group == CONFLICT_GROUP:
-            return {"conflicts": self.conflicts.state()}
-        sid = self._sid_of(group)
-        cat = self.catalogs.get(sid)
-        return cat.to_dict() if cat is not None else None
+            return self.conflict_dir.state()
+        return self.cat.export_state(sid_of(group))
 
     def set_group_state(self, group: str, state: Any) -> None:
         if group == CONFLICT_GROUP:
-            self.conflicts.load_state(state["conflicts"])
+            self.conflict_dir.load_state(state)
             return
-        if state is None:
-            return
-        cat = SegmentCatalog.from_dict(state)
-        existing = self.catalogs.get(cat.sid)
-        if existing is None:
-            self.catalogs[cat.sid] = cat
-        else:
-            existing.merge(cat)
+        self.cat.merge_state(state)
 
     # ------------------------------------------------------------------ #
-    # crash recovery (§3.6)
+    # crash recovery (§3.6) — delegated to the RecoveryService
     # ------------------------------------------------------------------ #
 
     def volatile_reset(self) -> None:
         """Drop all in-memory state (called when the hosting node crashes)."""
-        self.replicas.clear()
-        self.tokens.clear()
-        self.catalogs.clear()
+        self.store.volatile_reset()
+        self.cat.catalogs.clear()
         self._token_waits.clear()
         self._update_locks.clear()
         for handle in self._stable_timers.values():
             handle.cancel()
         self._stable_timers.clear()
-        self.conflicts = ConflictLog()
+        self.conflict_dir.reset()
 
     async def recover(self) -> None:
-        """Rebuild from non-volatile state after a restart.
-
-        For every replica on disk, rejoin (or resurrect) its file group and
-        reconcile our version against the group's knowledge: obsolete local
-        versions are destroyed; incomparable ones are kept and logged as
-        conflicts; tokens we held are reclaimed when still valid.
-        """
-        counter = self._store.get_now("sid_counter")
-        if counter is not None:
-            self._sid_counter = max(self._sid_counter, counter)
-        sids = sorted({key.split("/")[1] for key in self._store.keys()
-                       if key.startswith("rep/")})
-        await self.join_conflict_group()
-        for sid in sids:
-            await self._recover_segment(sid)
-        self.metrics.incr("deceit.recoveries")
-
-    async def _recover_segment(self, sid: str) -> None:
-        group = self._group_of(sid)
-        disk_majors = self._disk_majors(sid)
-        try:
-            await self.proc.join_group(group)
-        except GroupNotFound:
-            self._resurrect_group(sid)
-            return
-        cat = self.catalogs.get(sid)
-        if cat is None:
-            return
-        for major in disk_majors:
-            record = self._store.get_now(f"rep/{sid}/{major}")
-            if record is None:
-                continue
-            replica = Replica.from_dict(record)
-            self.alloc.observe(major)
-            cat.branches.merge(replica.branches)
-            await self._reconcile_recovered_replica(sid, cat, replica)
-
-    async def _reconcile_recovered_replica(self, sid: str, cat, replica) -> None:
-        """One recovered replica vs the group's catalog (§3.6 scenarios)."""
-        major = replica.major
-        me = self.proc.addr
-        token_rec = self._store.get_now(f"tok/{sid}/{major}")
-        info = cat.majors.get(major)
-        # Superseded check first (§3.6 "Token Crash"): if any *other* live
-        # major descends from our major's history, ours is the old version —
-        # "destroy the old version and all of its replicas."
-        reference = replica.version
-        if info is not None and info.version.major == major and \
-                info.version.sub > reference.sub:
-            reference = info.version
-        for other, other_info in list(cat.majors.items()):
-            if other == major:
-                continue
-            rel = cat.branches.compare(reference, other_info.version)
-            if rel in (Relation.ANCESTOR, Relation.EQUAL):
-                await self._destroy_local_replica(sid, major)
-                await self._delete_token_record(sid, major)
-                self.metrics.incr("deceit.obsolete_versions_destroyed")
-                if info is not None:
-                    await self.proc.cbcast(
-                        self._group_of(sid),
-                        {"op": "delete_major", "sid": sid, "major": major},
-                        nreplies="all", tag="delete_major",
-                    )
-                return
-        if info is not None:
-            rel = cat.branches.compare(replica.version, info.version)
-            if rel in (Relation.EQUAL, Relation.ANCESTOR):
-                if rel is Relation.ANCESTOR and info.holder is not None:
-                    # Non-token replica crash: obsolete replica is destroyed;
-                    # the history is a prefix of the token's, no update lost.
-                    await self._destroy_local_replica(sid, major)
-                    await self._delete_token_record(sid, major)
-                    self.metrics.incr("deceit.obsolete_replicas_destroyed")
-                    return
-                self.replicas[(sid, major)] = replica
-                info.holders.add(me)
-                await self._announce_major(sid, cat, major, replica)
-                if rel is Relation.ANCESTOR:
-                    # behind but no live token: catch up from a holder
-                    self.proc.spawn(self._repair_replica(sid, major),
-                                    name=f"{me}:repair:{sid}")
-                elif token_rec is not None and info.holder in (None, me):
-                    await self._reclaim_token(sid, cat, replica, token_rec)
-                return
-            # DESCENDANT: we are ahead of everything the group knows —
-            # reclaim our state as authoritative for this major.
-            self.replicas[(sid, major)] = replica
-            info.version = replica.version
-            info.holders.add(me)
-            if token_rec is not None and info.holder in (None, me):
-                await self._reclaim_token(sid, cat, replica, token_rec)
-            return
-        # our major is unknown to the group: obsolete (a descendant token
-        # was generated past our last update) or genuinely divergent
-        for other, other_info in cat.majors.items():
-            rel = cat.branches.compare(replica.version, other_info.version)
-            if rel is Relation.ANCESTOR:
-                # Token crash scenario: the new version is a direct
-                # descendant of ours — destroy the old version.
-                await self._destroy_local_replica(sid, major)
-                await self._delete_token_record(sid, major)
-                self.metrics.incr("deceit.obsolete_versions_destroyed")
-                return
-        # incomparable with every live major: keep, announce, log conflict
-        self.replicas[(sid, major)] = replica
-        cat.majors[major] = MajorInfo(
-            major=major, version=replica.version, holder=None,
-            holders={me}, last_update_ts=replica.write_ts,
-        )
-        await self._announce_major(sid, cat, major, replica)
-        if token_rec is not None:
-            await self._reclaim_token(sid, cat, replica, token_rec)
-        await self._log_divergence(sid, cat)
-
-    async def _announce_major(self, sid: str, cat, major: int, replica) -> None:
-        """Tell the (possibly just-merged) group that this major exists here,
-        including its branch record so every member can compare versions."""
-        parent = cat.branches.parent_of(major)
-        if parent is not None:
-            await self.proc.cbcast(
-                self._group_of(sid),
-                {"op": "token_generated", "sid": sid, "major": major,
-                 "parent": list(parent),
-                 "version": replica.version.to_tuple(),
-                 "holder": cat.majors[major].holder},
-                nreplies=0, tag="major_announce",
-            )
-        await self.proc.cbcast(
-            self._group_of(sid),
-            {"op": "replica_recovered", "sid": sid, "major": major,
-             "version": replica.version.to_tuple()},
-            nreplies=0, tag="replica_recovered",
-        )
-
-    async def _log_divergence(self, sid: str, cat) -> None:
-        """Log every live incomparable version pair to the conflict file."""
-        for a, b in cat.incomparable_pairs():
-            await self.log_conflict(
-                sid, (a, b),
-                note="incomparable versions after crash/partition recovery",
-            )
-
-    async def _reclaim_token(self, sid: str, cat, replica, token_rec: dict) -> None:
-        token = Token.from_dict(token_rec)
-        token.version = replica.version  # replica is the durable authority
-        token.holders = sorted(cat.majors[token.major].holders | {self.proc.addr})
-        self.tokens[(sid, token.major)] = token
-        cat.majors[token.major].holder = self.proc.addr
-        await self._persist_token(token)
-        await self.proc.cbcast(
-            self._group_of(sid),
-            {"op": "token_pass", "sid": sid, "major": token.major,
-             "to": self.proc.addr, "token": token.to_dict()},
-            nreplies=0, tag="token_recovered",
-        )
-        self.metrics.incr("deceit.tokens_reclaimed")
-
-    # ------------------------------------------------------------------ #
-    # partition-heal reconciliation
-    # ------------------------------------------------------------------ #
-
-    async def _h_exchange(self, src: str, catalogs: dict) -> dict:
-        """RPC handler: merge a peer's catalog summaries, return ours.
-
-        Both sides call this on each other after a partition heals; the
-        catalog merge surfaces divergent majors, which each side then
-        resolves with the same rules recovery uses.
-        """
-        ours = {sid: cat.to_dict() for sid, cat in self.catalogs.items()}
-        for sid, raw in catalogs.items():
-            if sid in self.catalogs:
-                incoming = SegmentCatalog.from_dict(raw)
-                self.catalogs[sid].merge(incoming)
-        return ours
-
-    def _on_peer_alive(self, peer: str) -> None:
-        if not self._merging:
-            self.proc.spawn(self._merge_after_heal(),
-                            name=f"{self.proc.addr}:merge")
-
-    MERGE_AUDIT_INTERVAL_MS = 2000.0
+        """Rebuild from non-volatile state after a restart (§3.6)."""
+        await self.recovery.recover()
 
     def start_merge_audit(self) -> None:
-        """Arm the periodic group-merge audit.
-
-        Partition heals are caught by the failure detector's alive
-        transitions, but a member *falsely expelled* during a message-loss
-        burst sees no such transition — only a periodic check against its
-        supposed co-members notices the newer view that excludes it.
-        """
-        self.kernel.schedule(self.MERGE_AUDIT_INTERVAL_MS, self._merge_audit_tick)
-
-    def _merge_audit_tick(self) -> None:
-        if not self.proc.alive:
-            return  # re-armed by recovery
-        if not self._merging and self.catalogs:
-            self.proc.spawn(self._merge_after_heal(),
-                            name=f"{self.proc.addr}:merge_audit")
-        self.kernel.schedule(self.MERGE_AUDIT_INTERVAL_MS, self._merge_audit_tick)
-
-    async def _merge_after_heal(self) -> None:
-        """Re-merge file groups split by a partition (§3.6 "Partition").
-
-        For every group we belong to, look for reachable cell peers running
-        a *different* instance of the same group.  The side whose
-        coordinator has the larger address dissolves: its members rejoin
-        through the other side (getting merged catalogs via state transfer)
-        and then reconcile each local replica exactly as crash recovery
-        does — obsolete versions are destroyed, incomparable ones are kept
-        and logged as conflicts.
-        """
-        if self._merging:
-            return
-        self._merging = True
-        try:
-            await self.kernel.sleep(50.0)  # debounce: let FD settle
-            # conflict group first: divergences found while merging file
-            # groups must propagate to the whole healed cell
-            groups = []
-            if self.proc.is_member(CONFLICT_GROUP):
-                groups.append(CONFLICT_GROUP)
-            groups.extend(self._group_of(sid) for sid in list(self.catalogs))
-            for group in groups:
-                await self._merge_one_group(group)
-        finally:
-            self._merging = False
-
-    async def _merge_one_group(self, group: str) -> None:
-        view = self.proc.current_view(group)
-        if view is None:
-            # We know the segment (catalog/disk) but lost group membership —
-            # e.g. a previous rejoin attempt failed during a loss burst.
-            if group == CONFLICT_GROUP:
-                await self.join_conflict_group()
-                return
-            sid = self._sid_of(group)
-            try:
-                await self._ensure_group(sid)
-            except NoSuchSegment:
-                self.catalogs.pop(sid, None)  # segment is gone everywhere
-            else:
-                cat = self.catalogs.get(sid)
-                if cat is not None:
-                    for (rsid, _m), replica in list(self.replicas.items()):
-                        if rsid == sid:
-                            await self._reconcile_recovered_replica(
-                                sid, cat, replica)
-            return
-        me = self.proc.addr
-        for peer in sorted(self.proc.cell_peers):
-            if not self.proc.network.reachable(me, peer):
-                continue
-            in_my_view = peer in view.members
-            try:
-                answer = await self.proc.call(peer, "isis_locate", group=group,
-                                              timeout=150.0, tag="merge_locate")
-            except (RpcTimeout, RpcRemoteError):
-                continue
-            if not answer:
-                continue
-            if in_my_view:
-                # Expulsion check: a peer I think is my co-member has moved
-                # to a newer view that no longer includes me (I was falsely
-                # suspected during a loss burst).  Rejoin through it.
-                if answer["view_id"] > view.view_id and \
-                        me not in answer.get("members", [me]):
-                    await self._dissolve_and_rejoin(group,
-                                                    contact=answer["member"])
-                    return
-                continue
-            their_coord = answer["coordinator"]
-            if view.coordinator <= their_coord:
-                continue  # their side loses; it dissolves on its own pass
-            # smaller coordinator wins; ours is larger → dissolve and rejoin
-            await self._dissolve_and_rejoin(group, contact=answer["member"])
-            return
-
-    async def _dissolve_and_rejoin(self, group: str, contact: str) -> None:
-        self.metrics.incr("deceit.group_merges")
-        self.proc.groups.pop(group, None)
-        try:
-            await self.proc.join_group(group, contact=contact)
-        except GroupNotFound:
-            return
-        if group == CONFLICT_GROUP:
-            # push the conflicts we discovered while partitioned
-            for record in self.conflicts.records():
-                await self.proc.cbcast(
-                    CONFLICT_GROUP,
-                    {"op": "conflict", "record": record.to_dict()},
-                    nreplies=0, tag="conflict",
-                )
-            return
-        sid = self._sid_of(group)
-        cat = self.catalogs.get(sid)
-        if cat is None:
-            return
-        for (rsid, rmajor), replica in list(self.replicas.items()):
-            if rsid == sid:
-                await self._reconcile_recovered_replica(sid, cat, replica)
-        await self._log_divergence(sid, cat)
+        """Arm the periodic group-merge audit (see RecoveryService)."""
+        self.recovery.start_merge_audit()

@@ -145,6 +145,10 @@ class TokenMixin:
             await self._apply_piggyback(sid, major, piggyback,
                                         piggyback_version, reply_req, origin)
         if to != self.proc.addr:
+            # the write token moved elsewhere: our warm copy of this major
+            # can now silently fall behind, so the read cache entry drops
+            # and the next local read re-validates against disk
+            self.store.cache.invalidate(sid, major)
             return {"noted": True}
         token = Token.from_dict(token_dict)
         self.tokens[(sid, major)] = token

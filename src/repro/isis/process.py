@@ -129,6 +129,11 @@ class IsisProcess(Node):
         for p in self.cell_peers:
             self.fd.add_peer(p)
 
+    def reachable(self, a: str, b: str) -> bool:
+        """Whether the network currently delivers between two addresses
+        (convenience for the pipeline services' transport port)."""
+        return self.network.reachable(a, b)
+
     def _register_isis_handlers(self) -> None:
         self.register_handler("isis_locate", self._h_locate)
         self.register_handler("isis_join_req", self._h_join_req)

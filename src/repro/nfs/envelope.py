@@ -167,12 +167,48 @@ class Envelope:
     async def read(self, fh: FileHandle, offset: int = 0,
                    count: int | None = None) -> bytes:
         """READ — byte range of a regular file (or symlink data)."""
+        return (await self.read_result(fh, offset, count)).data
+
+    async def read_result(self, fh: FileHandle, offset: int = 0,
+                          count: int | None = None) -> ReadResult:
+        """READ returning the full :class:`ReadResult` (data **and** the
+        version pair), so callers can do version-exact cache validation."""
         self.metrics.incr("nfs.ops.read")
-        result = await self.segments.read(fh.sid, offset=offset, count=count,
-                                          version=fh.version)
+        result = await self._read_segment_range(fh, offset, count)
         if result.meta.get("ftype") == FileType.DIRECTORY.value:
             raise nfs_error(NfsStat.ERR_ISDIR, fh.sid)
-        return result.data
+        return result
+
+    async def _read_segment_range(self, fh: FileHandle, offset: int,
+                                  count: int | None) -> ReadResult:
+        try:
+            return await self.segments.read(fh.sid, offset=offset,
+                                            count=count, version=fh.version)
+        except NoSuchSegment as exc:
+            raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+        except ReplicaUnavailable as exc:
+            raise nfs_error(NfsStat.ERR_IO, str(exc)) from exc
+
+    async def read_validate(self, fh: FileHandle, verify,
+                            offset: int = 0,
+                            count: int | None = None) -> ReadResult | None:
+        """READ with version-exact revalidation.
+
+        Returns ``None`` when the caller's cached copy (version pair
+        ``verify``) is still current — decided by the segment layer, which
+        refuses the shortcut during §3.4 instability so revalidation never
+        weakens a file's configured consistency.  An unchanged answer moves
+        no payload bytes and charges no disk read; a stale ``verify`` (or
+        an unstable file) falls through to :meth:`read_result`.
+        """
+        try:
+            if await self.segments.validate_version(fh.sid, verify,
+                                                    version=fh.version):
+                self.metrics.incr("nfs.ops.read")
+                return None
+        except NoSuchSegment as exc:
+            raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+        return await self.read_result(fh, offset, count)
 
     async def write(self, fh: FileHandle, offset: int, data: bytes) -> FileAttrs:
         """WRITE — overwrite/extend at ``offset``; bumps mtime atomically."""

@@ -162,8 +162,22 @@ class DeceitServer:
             out_fh, attrs = await env.lookup(fh, args["name"])
             return {"status": 0, "fh": out_fh.encode(), "attrs": attrs.to_wire()}
         if op == "read":
-            data = await env.read(fh, args.get("offset", 0), args.get("count"))
-            return {"status": 0, "data": data}
+            verify = args.get("verify")
+            if verify is not None:
+                result = await env.read_validate(fh, verify,
+                                                 args.get("offset", 0),
+                                                 args.get("count"))
+                if result is None:
+                    # version-exact cache validation: the client's copy is
+                    # current — no data bytes, no disk read, no forwarding
+                    self.metrics.incr("nfs.reads_unchanged")
+                    return {"status": 0, "unchanged": True,
+                            "version": list(verify)}
+            else:
+                result = await env.read_result(fh, args.get("offset", 0),
+                                               args.get("count"))
+            return {"status": 0, "data": result.data,
+                    "version": [result.major, result.version.sub]}
         if op == "write":
             attrs = await env.write(fh, args.get("offset", 0), args["data"])
             return {"status": 0, "attrs": attrs.to_wire()}

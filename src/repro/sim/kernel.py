@@ -19,10 +19,50 @@ from collections.abc import Awaitable, Callable, Coroutine, Iterable
 from typing import Any
 
 # A discrete-event simulation legitimately stops with tasks scheduled but
-# never started; their coroutine objects are then collected un-run at
-# interpreter teardown.  That is inherent to ending a simulation mid-flight,
-# not a programming error worth a warning per run.
-warnings.filterwarnings("ignore", message=r"coroutine '.*' was never awaited")
+# never started; their coroutine objects are then collected un-run.  That
+# teardown case is handled *scoped* to kernel-owned coroutines — rather than
+# with a module-wide message filter — so a genuinely dropped coroutine in
+# user code (one never handed to spawn()) still warns as CPython intends:
+#
+# 1. Task.__del__ closes an un-started coroutine quietly (covers plain
+#    refcount death, where the Task is always finalized first);
+# 2. Kernel.shutdown() drains the queue, closing pending task coroutines;
+# 3. for reference *cycles* (kernel -> queue -> task -> coroutine -> app ->
+#    kernel) the GC may finalize the coroutine before its Task, so the
+#    CPython warning hook is wrapped to skip exactly the coroutines a Task
+#    adopted.  Membership is tracked by id (the GC clears weak references
+#    before it runs finalizers, so a WeakSet would already be empty when the
+#    hook fires); ids are discarded the moment a task starts, is closed, or
+#    its warning is suppressed, so an address reused by a user coroutine is
+#    not silenced.
+_adopted_coro_ids: set[int] = set()
+
+
+def _adopt(coro) -> None:
+    _adopted_coro_ids.add(id(coro))
+
+
+def _unadopt(coro) -> None:
+    _adopted_coro_ids.discard(id(coro))
+
+
+def _install_scoped_unawaited_filter() -> None:
+    original = getattr(warnings, "_warn_unawaited_coroutine", None)
+    if original is None or getattr(original, "_repro_scoped", False):
+        return  # unknown interpreter layout, or already installed
+
+    def _scoped(coro):
+        if id(coro) in _adopted_coro_ids:
+            # adopted by a Kernel Task the simulation never reached
+            _adopted_coro_ids.discard(id(coro))
+            return
+        original(coro)
+
+    _scoped._repro_scoped = True
+    warnings._warn_unawaited_coroutine = _scoped
+
+
+_install_scoped_unawaited_filter()
 
 
 class SimTimeoutError(Exception):
@@ -130,6 +170,7 @@ class Task(SimFuture):
         self._cancelled = False
         self._started = False
         self.name = name or getattr(coro, "__name__", "task")
+        _adopt(coro)
 
     def cancel(self) -> bool:
         """Request cancellation; returns ``False`` if already done."""
@@ -140,14 +181,28 @@ class Task(SimFuture):
             # Never entered the coroutine: close it outright so it cannot
             # leak as a "never awaited" object at interpreter teardown.
             self._coro.close()
+            _unadopt(self._coro)
             self.try_set_exception(TaskCancelled())
             return True
         self.kernel._schedule_now(self._step, None)
         return True
 
+    def __del__(self) -> None:
+        # A task the simulation ended before ever stepping holds a coroutine
+        # that was legitimately scheduled, just never reached — close it
+        # quietly instead of letting GC flag it as a never-awaited bug.
+        if not self._started and not self._done:
+            try:
+                self._coro.close()
+            except Exception:
+                pass
+        _unadopt(self._coro)
+
     def _step(self, wakeup_value: Any) -> None:
         if self._done:
             return
+        if not self._started:
+            _unadopt(self._coro)  # running now; no unawaited risk remains
         self._started = True
         try:
             if self._cancelled:
@@ -380,6 +435,23 @@ class Kernel:
                 raise SimTimeoutError(f"virtual-time limit {limit} reached")
             self.run(max_events=1)
         return fut.result()
+
+    def shutdown(self) -> None:
+        """Tear down a simulation mid-flight: drop every queued event and
+        close the coroutines of tasks that never got to run, so nothing
+        lingers to be flagged at garbage collection.  Idempotent."""
+        for event in self._queue:
+            if event.cancelled:
+                continue
+            owner = getattr(event.fn, "__self__", None)
+            if isinstance(owner, Task) and not owner._started \
+                    and not owner._done:
+                # closing before GC means no never-awaited warning can fire
+                owner._coro.close()
+                _unadopt(owner._coro)
+                owner.try_set_exception(TaskCancelled())
+            event.cancelled = True
+        self._queue.clear()
 
     @property
     def events_processed(self) -> int:

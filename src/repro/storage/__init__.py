@@ -11,7 +11,7 @@ in the asynchronous write-behind buffer does not.
   over a disk; what the segment server and NFS envelope actually use.
 """
 
-from repro.storage.disk import Disk
+from repro.storage.disk import Disk, DiskCrashed
 from repro.storage.kvstore import KvStore
 
-__all__ = ["Disk", "KvStore"]
+__all__ = ["Disk", "DiskCrashed", "KvStore"]

@@ -5,15 +5,37 @@ synchronous write in ~15 ms and a cached read far faster).  The absolute
 values only matter relative to network latency: a synchronous disk write
 costs several network round trips, which is exactly the trade-off the
 paper's *write safety level* parameter (§4) exposes.
+
+Synchronous writes go through a **group-commit engine**: the disk has one
+commit unit, and every record enqueued while a commit window is open rides
+the same ``write_ms`` platter operation.  N sync writes issued in the same
+virtual-time window therefore cost one commit, not N — the amortization
+write-safety ≥ 1 needs to stay cheap.  ``group_commit=False`` models the
+naive serial disk (one commit per record, FIFO) for comparison benchmarks.
+A batch is atomic: a crash before its commit fires loses every record in
+it, exactly like the asynchronous write-behind buffer.
+
+Every write carries a sequence number, so reads (the page-cache view) and
+the durable store both resolve mixed sync/async traffic to the same key by
+*issue order* — an in-flight sync commit can neither shadow a later async
+write from readers nor clobber it in the stable store.
 """
 
 from __future__ import annotations
 
 import copy
+import itertools
 from typing import Any
 
 from repro.metrics import Metrics
 from repro.sim import Kernel, SimFuture
+
+#: Sentinel marking a deletion (in commit batches and op resolution).
+_DELETE = object()
+
+
+class DiskCrashed(RuntimeError):
+    """Raised into writers awaiting a sync commit the crash destroyed."""
 
 
 class Disk:
@@ -24,6 +46,10 @@ class Disk:
     flusher makes it durable after ``flush_interval_ms`` unless a crash
     intervenes, in which case the buffered records are lost — this is the
     mechanism behind write-safety-level 0 ("asynchronous unsafe writes").
+
+    ``write_batch`` commits many records under a single latency charge;
+    with ``group_commit`` (the default) independent sync writes that land
+    in the same commit window are coalesced the same way.
 
     Values are deep-copied on both write and read so that in-memory mutation
     of live objects can never retroactively alter "disk" contents.
@@ -37,6 +63,7 @@ class Disk:
         read_ms: float = 8.0,
         flush_interval_ms: float = 500.0,
         metrics: Metrics | None = None,
+        group_commit: bool = True,
     ):
         self.kernel = kernel
         self.name = name
@@ -44,10 +71,22 @@ class Disk:
         self.read_ms = read_ms
         self.flush_interval_ms = flush_interval_ms
         self.metrics = metrics or Metrics()
+        self.group_commit = group_commit
+        self._seq = itertools.count(1)          # issue order of every op
         self._stable: dict[str, Any] = {}
-        self._buffer: dict[str, Any] = {}
-        self._deleted_buffer: set[str] = set()
+        self._stable_seq: dict[str, int] = {}   # seq of last op applied
+        self._buffer: dict[str, tuple[int, Any]] = {}
+        self._deleted_buffer: dict[str, int] = {}
         self._flusher_scheduled = False
+        # group-commit engine state: batches awaiting the next commit, the
+        # armed commit event, and (serial mode) the FIFO of scheduled
+        # per-batch commits plus when the commit unit frees up.  Batch
+        # records are (key, value-or-_DELETE, seq).
+        self._pending: list[tuple[list[tuple[str, Any, int]], SimFuture]] = []
+        self._commit_handle = None
+        self._serial_pending: list[
+            tuple[Any, list[tuple[str, Any, int]], SimFuture]] = []
+        self._serial_free_at = 0.0
 
     # ------------------------------------------------------------------ #
     # write path
@@ -58,42 +97,122 @@ class Disk:
         returns control (synchronous writes resolve only once durable)."""
         self.metrics.incr("disk.writes")
         value = copy.deepcopy(value)
-        done = self.kernel.create_future()
         if sync:
             self.metrics.incr("disk.sync_writes")
-
-            def _commit() -> None:
-                self._stable[key] = value
-                self._buffer.pop(key, None)
-                self._deleted_buffer.discard(key)
-                done.try_set_result(None)
-
-            self.kernel.schedule(self.write_ms, _commit)
-        else:
-            self.metrics.incr("disk.async_writes")
-            self._buffer[key] = value
-            self._deleted_buffer.discard(key)
-            self._arm_flusher()
-            done.set_result(None)
+            return self._enqueue_sync([(key, value, next(self._seq))])
+        done = self.kernel.create_future()
+        self.metrics.incr("disk.async_writes")
+        self._buffer[key] = (next(self._seq), value)
+        self._deleted_buffer.pop(key, None)
+        self._arm_flusher()
+        done.set_result(None)
         return done
 
     def delete(self, key: str, sync: bool = True) -> SimFuture:
         """Remove ``key``; same durability semantics as :meth:`write`."""
         self.metrics.incr("disk.deletes")
-        done = self.kernel.create_future()
         if sync:
-            def _commit() -> None:
-                self._stable.pop(key, None)
-                self._buffer.pop(key, None)
-                done.try_set_result(None)
-
-            self.kernel.schedule(self.write_ms, _commit)
-        else:
-            self._buffer.pop(key, None)
-            self._deleted_buffer.add(key)
-            self._arm_flusher()
-            done.set_result(None)
+            return self._enqueue_sync([(key, _DELETE, next(self._seq))])
+        done = self.kernel.create_future()
+        self._buffer.pop(key, None)
+        self._deleted_buffer[key] = next(self._seq)
+        self._arm_flusher()
+        done.set_result(None)
         return done
+
+    def write_batch(self, records: list[tuple[str, Any]],
+                    sync: bool = True) -> SimFuture:
+        """Commit many records atomically under one latency charge.
+
+        ``records`` is a list of ``(key, value)`` pairs.  The whole batch
+        becomes durable together — one ``write_ms`` commit regardless of
+        how many records ride it.  (Batched deletions are not part of the
+        public API; use :meth:`delete`.)
+        """
+        self.metrics.incr("disk.batch_writes")
+        self.metrics.incr("disk.writes", len(records))
+        stamped = [(key, copy.deepcopy(value), next(self._seq))
+                   for key, value in records]
+        if sync:
+            self.metrics.incr("disk.sync_writes", len(records))
+            return self._enqueue_sync(stamped)
+        done = self.kernel.create_future()
+        self.metrics.incr("disk.async_writes", len(records))
+        for key, value, seq in stamped:
+            self._buffer[key] = (seq, value)
+            self._deleted_buffer.pop(key, None)
+        self._arm_flusher()
+        done.set_result(None)
+        return done
+
+    # ------------------------------------------------------------------ #
+    # group-commit engine
+    # ------------------------------------------------------------------ #
+
+    def _enqueue_sync(self, records: list[tuple[str, Any, int]]) -> SimFuture:
+        done = self.kernel.create_future()
+        if self.group_commit:
+            self._pending.append((records, done))
+            if self._commit_handle is None:
+                self._commit_handle = self.kernel.schedule(
+                    self.write_ms, self._commit_pending)
+            else:
+                self.metrics.incr("disk.group_commit_joins")
+        else:
+            # serial disk: one commit per batch, FIFO through the one unit
+            start = max(self._serial_free_at, self.kernel.now)
+            self._serial_free_at = start + self.write_ms
+            handle = self.kernel.schedule(
+                self._serial_free_at - self.kernel.now,
+                self._commit_one, records, done)
+            self._serial_pending.append((handle, records, done))
+        return done
+
+    def _commit_pending(self) -> None:
+        self._commit_handle = None
+        batches, self._pending = self._pending, []
+        if not batches:
+            return
+        size = 0
+        for records, done in batches:
+            self._apply_records(records)
+            size += len(records)
+            done.try_set_result(None)
+        self.metrics.incr("disk.commits")
+        self.metrics.incr("disk.commit_records", size)
+        self.metrics.latency("disk.commit_batch_size").record(float(size))
+
+    def _commit_one(self, records: list[tuple[str, Any, int]],
+                    done: SimFuture) -> None:
+        self._apply_records(records)
+        self.metrics.incr("disk.commits")
+        self.metrics.incr("disk.commit_records", len(records))
+        self.metrics.latency("disk.commit_batch_size").record(float(len(records)))
+        done.try_set_result(None)
+        # commits fire FIFO, so the completed batch is always at the head
+        if self._serial_pending and self._serial_pending[0][2] is done:
+            self._serial_pending.pop(0)
+
+    def _apply_records(self, records: list[tuple[str, Any, int]]) -> None:
+        for key, value, seq in records:
+            self._apply_to_stable(key, value, seq)
+            buffered = self._buffer.get(key)
+            if buffered is not None and buffered[0] < seq:
+                del self._buffer[key]
+            deleted = self._deleted_buffer.get(key)
+            if deleted is not None and deleted < seq:
+                del self._deleted_buffer[key]
+
+    def _apply_to_stable(self, key: str, value: Any, seq: int) -> None:
+        """Issue-ordered write to the durable store: an op never clobbers
+        the effect of a later-issued one that already landed."""
+        if seq <= self._stable_seq.get(key, 0):
+            return
+        self._stable_seq[key] = seq
+        if value is _DELETE:
+            self._stable.pop(key, None)
+        else:
+            self._stable[key] = value
 
     def _arm_flusher(self) -> None:
         if self._flusher_scheduled:
@@ -106,9 +225,10 @@ class Disk:
         if not self._buffer and not self._deleted_buffer:
             return
         self.metrics.incr("disk.flushes")
-        self._stable.update(self._buffer)
-        for key in self._deleted_buffer:
-            self._stable.pop(key, None)
+        for key, (seq, value) in self._buffer.items():
+            self._apply_to_stable(key, value, seq)
+        for key, seq in self._deleted_buffer.items():
+            self._apply_to_stable(key, _DELETE, seq)
         self._buffer.clear()
         self._deleted_buffer.clear()
 
@@ -131,48 +251,90 @@ class Disk:
         """Future resolving with a deep copy of the record (or ``None``).
 
         Reads observe buffered (not-yet-durable) writes, as a real OS page
-        cache would.
+        cache would — including sync batches still waiting on their commit.
         """
         self.metrics.incr("disk.reads")
         done = self.kernel.create_future()
 
         def _complete() -> None:
-            if key in self._deleted_buffer:
-                value = None
-            elif key in self._buffer:
-                value = self._buffer[key]
-            else:
-                value = self._stable.get(key)
-            done.try_set_result(copy.deepcopy(value))
+            done.try_set_result(copy.deepcopy(self._live_value(key)))
 
         self.kernel.schedule(self.read_ms, _complete)
         return done
 
     def read_now(self, key: str) -> Any:
         """Zero-latency read used by recovery code scanning local state."""
-        if key in self._deleted_buffer:
-            return None
-        if key in self._buffer:
-            return copy.deepcopy(self._buffer[key])
-        return copy.deepcopy(self._stable.get(key))
+        return copy.deepcopy(self._live_value(key))
+
+    def _uncommitted_batches(self):
+        """Sync batches awaiting their commit, either mode."""
+        for records, _done in self._pending:
+            yield records
+        for _handle, records, _done in self._serial_pending:
+            yield records
+
+    def _latest_op(self, key: str) -> tuple[int, Any]:
+        """The highest-seq operation on ``key`` across the stable store,
+        the write-behind buffer, and uncommitted sync batches."""
+        seq = self._stable_seq.get(key, 0)
+        value = self._stable[key] if key in self._stable else _DELETE
+        buffered = self._buffer.get(key)
+        if buffered is not None and buffered[0] > seq:
+            seq, value = buffered
+        deleted = self._deleted_buffer.get(key)
+        if deleted is not None and deleted > seq:
+            seq, value = deleted, _DELETE
+        for records in self._uncommitted_batches():
+            for rkey, rvalue, rseq in records:
+                if rkey == key and rseq > seq:
+                    seq, value = rseq, rvalue
+        return seq, value
+
+    def _live_value(self, key: str) -> Any:
+        _seq, value = self._latest_op(key)
+        return None if value is _DELETE else value
 
     def keys(self, prefix: str = "") -> list[str]:
         """All live keys with the given prefix (buffered writes included)."""
-        live = (set(self._stable) | set(self._buffer)) - self._deleted_buffer
-        return sorted(k for k in live if k.startswith(prefix))
+        candidates = set(self._stable) | set(self._buffer) | \
+            set(self._deleted_buffer)
+        for records in self._uncommitted_batches():
+            candidates.update(key for key, _v, _s in records)
+        return sorted(
+            key for key in candidates
+            if key.startswith(prefix) and self._latest_op(key)[1] is not _DELETE
+        )
 
     # ------------------------------------------------------------------ #
     # failure
     # ------------------------------------------------------------------ #
 
     def crash(self) -> None:
-        """Lose everything not yet durable."""
+        """Lose everything not yet durable — the write-behind buffer *and*
+        any sync batches whose group commit had not fired yet.  Writers
+        still awaiting a destroyed commit get :class:`DiskCrashed` so they
+        resume (and fail) instead of hanging forever."""
         lost = len(self._buffer) + len(self._deleted_buffer)
+        lost += sum(len(records) for records in self._uncommitted_batches())
         if lost:
             self.metrics.incr("disk.lost_on_crash", lost)
         self._buffer.clear()
         self._deleted_buffer.clear()
         self._flusher_scheduled = False
+        pending, self._pending = self._pending, []
+        if self._commit_handle is not None:
+            self._commit_handle.cancel()
+            self._commit_handle = None
+        serial, self._serial_pending = self._serial_pending, []
+        for handle, _records, _done in serial:
+            handle.cancel()
+        self._serial_free_at = self.kernel.now
+        for _records, done in pending:
+            done.try_set_exception(
+                DiskCrashed(f"{self.name}: crashed before commit"))
+        for _handle, _records, done in serial:
+            done.try_set_exception(
+                DiskCrashed(f"{self.name}: crashed before commit"))
 
     @property
     def stable_keys(self) -> int:

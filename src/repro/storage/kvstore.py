@@ -32,6 +32,13 @@ class KvStore:
         """Durable (or buffered, with ``sync=False``) write of ``value``."""
         return self.disk.write(self._key(key), value, sync=sync)
 
+    def put_batch(self, items: list[tuple[str, Any]],
+                  sync: bool = True) -> SimFuture:
+        """Commit several records atomically under one disk latency charge
+        (group commit; see :meth:`~repro.storage.disk.Disk.write_batch`)."""
+        return self.disk.write_batch(
+            [(self._key(key), value) for key, value in items], sync=sync)
+
     def get(self, key: str) -> SimFuture:
         """Latency-charged read; resolves with the value or ``None``."""
         return self.disk.read(self._key(key))

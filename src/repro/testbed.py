@@ -61,6 +61,10 @@ class CoreCluster:
         """Remove the partition."""
         self.network.heal()
 
+    def close(self) -> None:
+        """End the simulation: drop queued events, close un-run tasks."""
+        self.kernel.shutdown()
+
 
 def build_core_cluster(
     n_servers: int = 3,
@@ -68,11 +72,14 @@ def build_core_cluster(
     seed: int = 0,
     drop_probability: float = 0.0,
     fd_timeout_ms: float = 200.0,
+    disk_group_commit: bool = True,
 ) -> CoreCluster:
     """Stand up ``n_servers`` segment servers named ``s0`` … ``s{n-1}``.
 
     Every server joins the cell-wide conflict group at boot (scheduled; run
     the kernel briefly or await your first operation before relying on it).
+    ``disk_group_commit=False`` swaps in the naive serial disk (one commit
+    per record) — the baseline the batching benchmarks compare against.
     """
     kernel = Kernel()
     metrics = Metrics()
@@ -86,7 +93,8 @@ def build_core_cluster(
     for rank, addr in enumerate(addrs):
         proc = IsisProcess(network, addr, cell_peers=addrs,
                            fd_timeout_ms=fd_timeout_ms)
-        disk = Disk(kernel, name=f"{addr}.disk", metrics=metrics)
+        disk = Disk(kernel, name=f"{addr}.disk", metrics=metrics,
+                    group_commit=disk_group_commit)
         server = SegmentServer(proc, disk, rank, metrics=metrics)
         proc.set_cell_peers(addrs)
         proc.start()
@@ -136,6 +144,10 @@ class Cluster:
     def heal(self) -> None:
         """Remove the partition."""
         self.network.heal()
+
+    def close(self) -> None:
+        """End the simulation: drop queued events, close un-run tasks."""
+        self.kernel.shutdown()
 
 
 def build_cluster(

@@ -196,3 +196,32 @@ def test_events_processed_counter(kernel):
         kernel.schedule(1.0, lambda: None)
     kernel.run()
     assert kernel.events_processed == 7
+
+
+def test_shutdown_closes_never_started_tasks(kernel):
+    ran = []
+
+    async def never_runs():
+        ran.append(True)
+
+    task = kernel.spawn(never_runs())
+    kernel.shutdown()
+    assert not ran                      # coroutine never entered
+    assert task.done()                  # resolved (cancelled), not dangling
+    assert kernel.pending_events == 0
+    kernel.shutdown()                   # idempotent
+
+
+def test_shutdown_leaves_no_unawaited_warnings(kernel):
+    import gc
+    import warnings as w
+
+    async def never_runs():
+        pass
+
+    kernel.spawn(never_runs())
+    kernel.shutdown()
+    with w.catch_warnings(record=True) as caught:
+        w.simplefilter("always")
+        gc.collect()
+    assert not [x for x in caught if "never awaited" in str(x.message)]

@@ -1,0 +1,115 @@
+"""P2 — performance: heat-driven replica rebalancing on a zipf workload.
+
+Segments are created on one server while three other servers take all the
+client read traffic, with Zipf(1.2) file popularity (the skewed-hotspot
+regime of ``workloads.hotspot_config``).  With the placement control loop
+ON, each reader server's rebalancer pulls the segments its clients are
+hot on, so p50 read latency converges to local-read latency within a few
+rebalance rounds; with it OFF every read keeps paying the §2.1
+request-forwarding hop forever.
+
+Also asserts the churn-safety accounting the placement tests pin down:
+no segment is ever observed below one live replica during the run.
+"""
+
+import random
+
+from repro.core.placement import PlacementConfig
+from repro.testbed import build_core_cluster
+from repro.workloads import zipf_weights
+from benchmarks.conftest import run_once
+
+FILES = 10
+ROUNDS = 8
+READS_PER_ROUND = 24
+ZIPF_S = 1.2
+PLACEMENT = PlacementConfig(interval_ms=250.0, attract_rate=1.0,
+                            shed_rate=0.05, min_hold_ms=60_000.0)
+
+
+def _zipf_reads(rebalance: bool) -> dict:
+    cluster = build_core_cluster(4, seed=900, rebalance=rebalance,
+                                 placement=PLACEMENT)
+    s0 = cluster.servers[0]
+    readers = cluster.servers[1:]
+
+    async def run():
+        sids = []
+        for i in range(FILES):
+            sids.append(await s0.create(data=bytes([i]) * 4096))
+        weights = zipf_weights(FILES, ZIPF_S)
+        rng = random.Random(7)
+        p50_by_round = []
+        min_live = FILES
+
+        def live_replicas(sid: str) -> int:
+            return sum(1 for server in cluster.servers
+                       if server.proc.alive
+                       and any(key[0] == sid for key in server.replicas))
+
+        for _round in range(ROUNDS):
+            latencies = []
+            for _ in range(READS_PER_ROUND):
+                i = rng.choices(range(FILES), weights=weights)[0]
+                reader = readers[i % len(readers)]
+                t0 = cluster.kernel.now
+                await reader.read(sids[i])
+                latencies.append(cluster.kernel.now - t0)
+                await cluster.kernel.sleep(5.0)
+            latencies.sort()
+            p50_by_round.append(latencies[len(latencies) // 2])
+            min_live = min(min_live, *(live_replicas(sid) for sid in sids))
+        # local-read baseline: the creator replays the same zipf stream
+        local = []
+        for _ in range(READS_PER_ROUND):
+            i = rng.choices(range(FILES), weights=weights)[0]
+            t0 = cluster.kernel.now
+            await s0.read(sids[i])
+            local.append(cluster.kernel.now - t0)
+        local.sort()
+        return {
+            "p50_by_round": p50_by_round,
+            "local_p50": local[len(local) // 2],
+            "min_live_replicas": min_live,
+            "migrations": cluster.metrics.get("placement.attractions"),
+        }
+
+    result = cluster.run(run(), limit=5_000_000.0)
+    cluster.close()
+    return result
+
+
+def test_perf_rebalance_converges_to_local_reads(benchmark, report):
+    results = {}
+
+    def scenario():
+        results["on"] = _zipf_reads(True)
+        results["off"] = _zipf_reads(False)
+        return results
+
+    run_once(benchmark, scenario)
+    on, off = results["on"], results["off"]
+    report(
+        "P2: heat-driven rebalancing — zipf read p50 per round (ms)",
+        ["rebalancer"] + [f"round {i}" for i in range(ROUNDS)] +
+        ["local p50", "migrations"],
+        [["on"] + [f"{x:.2f}" for x in on["p50_by_round"]] +
+         [f"{on['local_p50']:.2f}", on["migrations"]],
+         ["off"] + [f"{x:.2f}" for x in off["p50_by_round"]] +
+         [f"{off['local_p50']:.2f}", off["migrations"]]],
+    )
+    # the control loop converges the hot set to local-read latency …
+    assert on["p50_by_round"][-1] <= 2 * on["local_p50"] + 1e-9
+    # … is strictly better than the forwarded baseline …
+    assert on["p50_by_round"][-1] < off["p50_by_round"][-1]
+    # … replicated the hot segments toward their readers …
+    assert on["migrations"] >= 3 and off["migrations"] == 0
+    # … and never took any segment below one live replica
+    assert on["min_live_replicas"] >= 1
+    assert off["min_live_replicas"] >= 1
+    benchmark.extra_info.update({
+        "p50_on_final_ms": on["p50_by_round"][-1],
+        "p50_off_final_ms": off["p50_by_round"][-1],
+        "local_p50_ms": on["local_p50"],
+        "migrations": on["migrations"],
+    })

@@ -48,6 +48,12 @@ class AgentConfig:
     #: instead of refetching the payload: the server answers "unchanged"
     #: (no data bytes) when the segment is still at the cached version.
     version_validate: bool = True
+    #: The agent-side router: learn replica locations from the placement
+    #: hints piggybacked on read replies and send subsequent reads
+    #: directly to a current replica holder instead of always the mount
+    #: server.  Unlike ``shortcut`` (§5.3) it costs no extra ``locate``
+    #: RPC — hints ride replies the agent receives anyway.
+    route_hints: bool = False
 
 
 class Agent(Node):
@@ -72,6 +78,9 @@ class Agent(Node):
         self._data_cache: dict[str, tuple[bytes, float, tuple | None]] = {}
         self._handle_cache: dict[str, FileHandle] = {}
         self._location_cache: dict[str, str] = {}
+        # sid -> replica holders, learned from read-reply placement hints
+        # (preferred holder first)
+        self._placement_cache: dict[str, list[str]] = {}
         self.metrics = network.metrics
 
     # ------------------------------------------------------------------ #
@@ -87,10 +96,13 @@ class Agent(Node):
         await self.kernel.sleep(self.config.placement.hop_ms)
 
     async def _nfs(self, op: str, args: dict[str, Any],
-                   to: str | None = None, size_bytes: int = 256) -> dict:
+                   to: str | None = None, size_bytes: int = 256,
+                   on_target_fail=None) -> dict:
         """One NFS RPC, with failover across servers when enabled."""
         await self._user_hop()
         attempts = len(self.servers) if self.config.failover else 1
+        if to is not None:
+            attempts += 1  # a failed routed target must not eat the budget
         last_exc: Exception | None = None
         for _try in range(attempts):
             target = to if to is not None else self.server
@@ -101,7 +113,9 @@ class Agent(Node):
             except (RpcTimeout, Unreachable, RpcRemoteError) as exc:
                 last_exc = exc
                 if to is not None:
-                    to = None  # shortcut target failed: fall back to server
+                    if on_target_fail is not None:
+                        on_target_fail(target)
+                    to = None  # routed target failed: fall back to server
                     continue
                 if not self.config.failover:
                     break
@@ -210,8 +224,11 @@ class Agent(Node):
         args: dict[str, Any] = {"fh": key}
         if cached and cached[2] is not None and self.config.version_validate:
             args["verify"] = list(cached[2])
-        to = await self._shortcut_target(fh)
-        reply = await self._nfs("read", args, to=to)
+        to = await self._route_target(fh)
+        reply = await self._nfs("read", args, to=to,
+                                on_target_fail=lambda t:
+                                self._forget_route(fh.sid))
+        self._learn_placement(fh, reply)
         version = tuple(reply["version"]) if "version" in reply else None
         if reply.get("unchanged") and cached:
             self.metrics.incr("agent.data_cache_revalidations")
@@ -222,6 +239,40 @@ class Agent(Node):
             self._data_cache[key] = (data, self.kernel.now +
                                      self.config.data_ttl_ms, version)
         return data
+
+    async def _route_target(self, fh: FileHandle) -> str | None:
+        """Where to aim a read: a hinted replica holder, the §5.3 shortcut
+        target, or ``None`` for the plain mount-server path."""
+        if self.config.route_hints and not fh.foreign:
+            holders = self._placement_cache.get(fh.sid)
+            if holders:
+                if self.server in holders:
+                    return None  # the mount server already holds a replica
+                self.metrics.incr("agent.routed_reads")
+                return holders[0]
+        return await self._shortcut_target(fh)
+
+    def _learn_placement(self, fh: FileHandle, reply: dict) -> None:
+        """Absorb the placement hint piggybacked on a read reply."""
+        if not self.config.route_hints or fh.foreign:
+            return
+        hint = reply.get("placement")
+        if not hint:
+            return
+        holders = sorted(hint.get("holders") or [])
+        if not holders:
+            return
+        served = hint.get("served_by")
+        if served in holders:  # the server that answered goes first
+            holders.remove(served)
+            holders.insert(0, served)
+        self._placement_cache[fh.sid] = holders
+        self.metrics.incr("agent.placement_hints")
+
+    def _forget_route(self, sid: str) -> None:
+        """A routed target failed: drop what we believed about it."""
+        self._placement_cache.pop(sid, None)
+        self._location_cache.pop(sid, None)
 
     async def _shortcut_target(self, fh: FileHandle) -> str | None:
         """Access shortcut: read directly from a replica holder (§5.3)."""

@@ -10,6 +10,21 @@ The service depends on a *membership port* rather than a concrete
 IsisProcess: any object with ``addr``, ``is_member(group)``,
 ``join_group(group, contact=None)`` and ``create_group(group)`` works, so
 the catalog logic is unit testable with a stub.
+
+Invariants
+----------
+- A catalog exists locally only while this server is (or is becoming) a
+  member of the segment's file group; ``ensure_group`` is the sole way in.
+- Catalog contents are *hints*, not authority: the durable truth about a
+  major's version is its token holder's replica record.  Holders and
+  version pairs here may lag by in-flight broadcasts but never by more —
+  group multicasts (``replica_created`` / ``update`` / …) keep every
+  member's catalog within one delivery of the group's state.
+- ``resurrect`` may only run when the group is unlocatable cell-wide; the
+  resurrected catalog trusts the local *replica* version over the local
+  token record (the replica is what the disk guarantees, §3.6).
+- The catalog never invents majors: every entry was installed by create,
+  state transfer, a recovery announcement, or a group multicast.
 """
 
 from __future__ import annotations

@@ -3,6 +3,17 @@
 Wraps the :class:`~repro.core.conflicts.ConflictLog` with its group wiring:
 every server joins (or founds) the conflict group at boot, incomparable
 version pairs are logged cell-wide, and reconciliation clears them.
+
+Invariants
+----------
+- Entries are only ever added for majors whose version pairs compared
+  INCOMPARABLE (the recovery/merge code is the only producer), and only
+  removed by user-level reconciliation — never silently.
+- The log is volatile and monotone between resets: replaying the same
+  conflict record is idempotent (``ConflictLog.add`` dedups), so at-least-
+  once delivery of conflict broadcasts is safe.
+- The directory assumes nothing about tokens or versions beyond what the
+  caller already established; it is pure bookkeeping plus gossip.
 """
 
 from __future__ import annotations

@@ -16,6 +16,17 @@ Invalidation (the two events the pipeline wires up):
 - **update delivery** — applying an update re-warms the entry *at the new
   version*, which atomically invalidates the old one (version-exact
   invalidation, no timers involved).
+
+Invariants
+----------
+- A probe hits only on an **exact** ``(sid, major, version-pair)`` match;
+  the cache never answers for a different sub of the same major, so a
+  stale entry can cost a disk read but never serve old bytes.
+- The cache holds no payloads, only warmth: correctness never depends on
+  it — clearing it at any moment merely re-charges disk latency.
+- Entries survive token *acquisition* but not token *departure*: when
+  the write token leaves this server the entry is dropped, because only
+  the holder is guaranteed to observe every subsequent version change.
 """
 
 from __future__ import annotations

@@ -8,14 +8,30 @@ replica holder when no local replica exists, triggering migration when the
 file's parameters ask for it (§3.1 method 4).
 
 Collaborators mirror the :class:`~repro.core.pipeline.update.UpdatePipeline`
-pattern: a transport port, the catalog and store services, and two hooks
-into the stability / replication protocols (``stability_recovery``,
-``request_migration``).
+pattern: a transport port, the catalog and store services, two hooks into
+the stability / replication protocols (``stability_recovery``,
+``request_migration``), and the optional
+:class:`~repro.core.placement.heat.HeatTracker` every read feeds.
+
+Invariants
+----------
+- A read of a **stable** major may be served by any replica holder: every
+  holder of a stable version has applied the same update prefix, so local
+  data equals the token holder's (one-copy equivalence for stable state).
+- While a stability-notification file is **unstable** (§3.4), only the
+  token holder's replica may serve: other holders may not yet have the
+  in-flight updates, so every read is forwarded there.
+- ``validate_version`` never answers True from a server without a local
+  replica, and never for an unstable major — the shortcut may only
+  replace a read the local path could itself have served.
+- The service never mutates versions or tokens; it only reads catalog
+  state maintained by the update/token protocols and bumps read
+  timestamps (the input to LRU deletion and heat-driven placement).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.params import FileParams
@@ -33,7 +49,12 @@ READ_FORWARD_TIMEOUT_MS = 400.0
 @dataclass
 class ReadResult:
     """What a segment read returns: data plus the version pair (§5.1 —
-    reads return versions so callers can run optimistic transactions)."""
+    reads return versions so callers can run optimistic transactions).
+
+    ``holders`` is the placement hint: the replica holders the serving
+    server's catalog knew at read time.  The NFS layer piggybacks it on
+    read replies so agents can route later reads straight to a holder.
+    """
 
     data: bytes
     version: VersionPair
@@ -41,6 +62,7 @@ class ReadResult:
     params: FileParams
     major: int
     served_by: str
+    holders: list[str] = field(default_factory=list)
 
 
 class ReadService:
@@ -48,7 +70,7 @@ class ReadService:
 
     def __init__(self, transport, catalog: CatalogService, store: ReplicaStore,
                  stability_recovery: Callable, request_migration: Callable,
-                 metrics: Metrics | None = None):
+                 metrics: Metrics | None = None, heat=None):
         self.transport = transport
         self.kernel = transport.kernel
         self.catalog = catalog
@@ -56,6 +78,7 @@ class ReadService:
         self.stability_recovery = stability_recovery    # async (sid, major) -> server
         self.request_migration = request_migration      # (sid, major) -> coroutine
         self.metrics = metrics or store.metrics
+        self.heat = heat                                # HeatTracker or None
 
     # ------------------------------------------------------------------ #
     # entry points
@@ -69,26 +92,32 @@ class ReadService:
         replica = self.store.replicas.get((sid, major))
         me = self.transport.addr
         self.metrics.incr("deceit.reads")
+        if self.heat is not None:
+            self.heat.note_read(sid, major, me)
 
         if replica is not None:
             unstable = cat.params.stability_notification and (
                 info.unstable or not replica.stable
             )
             if not unstable:
-                return await self.read_local(replica, offset, count)
+                return self._stamp(await self.read_local(replica, offset, count),
+                                   info)
             holder = info.holder
             if holder == me:
-                return await self.read_local(replica, offset, count)
+                return self._stamp(await self.read_local(replica, offset, count),
+                                   info)
             if holder is not None:
                 try:
-                    return await self.read_remote(holder, sid, major, offset, count)
+                    return self._stamp(await self.read_remote(
+                        holder, sid, major, offset, count), info)
                 except (RpcTimeout, RpcRemoteError):
                     pass
             source = await self.stability_recovery(sid, major)
             if source == me:
-                return await self.read_local(self.store.replicas[(sid, major)],
-                                             offset, count)
-            return await self.read_remote(source, sid, major, offset, count)
+                return self._stamp(await self.read_local(
+                    self.store.replicas[(sid, major)], offset, count), info)
+            return self._stamp(await self.read_remote(
+                source, sid, major, offset, count), info)
 
         # no local replica: forward to a holder (§2.1 request forwarding)
         self.metrics.incr("deceit.reads_forwarded")
@@ -104,10 +133,15 @@ class ReadService:
             if cat.params.file_migration:
                 self.transport.spawn(self.request_migration(sid, major),
                                      name=f"{me}:migrate:{sid}")
-            return result
+            return self._stamp(result, info)
         raise ReplicaUnavailable(
             f"{sid}: no replica holder of major {major} reachable"
         ) from last_error
+
+    def _stamp(self, result: ReadResult, info) -> ReadResult:
+        """Attach the placement hint (current holder set) to a result."""
+        result.holders = sorted(info.holders)
+        return result
 
     async def validate_version(self, sid: str, verify,
                                version: int | None = None) -> bool:
@@ -141,6 +175,8 @@ class ReadService:
             return False
         replica.read_ts = self.kernel.now
         info.read_ts[self.transport.addr] = self.kernel.now
+        if self.heat is not None:
+            self.heat.note_read(sid, major, self.transport.addr)
         return True
 
     async def stat(self, sid: str, version: int | None = None) -> ReadResult:
@@ -154,7 +190,7 @@ class ReadService:
         if replica is not None:
             result = self.local_result(replica, 0, 0)
             result.data = b""
-            return result
+            return self._stamp(result, cat.majors[major])
         info = cat.majors[major]
         for holder in sorted(info.holders):
             if holder == self.transport.addr:
@@ -213,6 +249,10 @@ class ReadService:
         replica = self.store.replicas.get((sid, major))
         if replica is None:
             raise NoSuchSegment(f"{sid};{major} not held by {self.transport.addr}")
+        if self.heat is not None:
+            # forwarded demand is attributed to the *requesting* server —
+            # the signal the rebalancer migrates replicas toward
+            self.heat.note_read(sid, major, src)
         result = await self.read_local(replica, offset, count)
         cat = self.catalog.get(sid)
         if cat is not None and major in cat.majors:

@@ -11,6 +11,22 @@ Collaborators: the ISIS process (``proc``), the
 :class:`~repro.core.pipeline.catalog.CatalogService`, the
 :class:`~repro.core.pipeline.store.ReplicaStore`, and the segment-server
 facade (``server``) for the conflict log and the replication helpers.
+
+Invariants
+----------
+- Recovery trusts the **replica record** as the durable authority for a
+  major's version; a co-recovered token record is adjusted to the replica
+  (its unsynced tail died with the crash) — never the other way around.
+- A recovered replica is reinstalled only after comparing against every
+  live major through the branch history: ancestors/equals of a live
+  version are destroyed, descendants reclaim authority, and incomparable
+  versions are kept *and* logged — no silent drops, no silent merges.
+- A token is reclaimed only when the group knows no other holder for
+  that major (``info.holder in (None, me)``), preserving single-holder
+  exclusivity across crashes.
+- Merge-after-heal is deterministic: of two instances of one group, the
+  side with the larger coordinator address dissolves, so both sides
+  converge without a tiebreak round.
 """
 
 from __future__ import annotations

@@ -17,6 +17,20 @@ Hot-path properties:
 
 The store needs only a kernel and a disk — no IsisProcess — so it is unit
 testable in isolation.
+
+Invariants
+----------
+- The store is **local**: it never inspects tokens, versions, or group
+  membership.  Callers (the update/token protocols) are responsible for
+  only persisting replica states the protocols have made legitimate.
+- A replica record on disk is always a version the in-memory replica has
+  actually held — records are written through, never ahead of, the
+  in-memory state; the read cache is warmed only by those write-throughs.
+- The cache therefore can never claim a version is warm that the disk
+  has not seen: a probe hit implies the last durable write of that
+  ``(sid, major)`` was exactly the probed version pair.
+- ``persist_new_segment`` is atomic (one group-commit batch): after a
+  crash either all of counter+replica+token exist, or none do.
 """
 
 from __future__ import annotations

@@ -16,7 +16,24 @@ without an IsisProcess facade:
 - ``store`` — a :class:`~repro.core.pipeline.store.ReplicaStore`;
 - ``hooks`` — an :class:`UpdateHooks` bundle of the token / stability /
   replication callbacks the write path needs (bound to the mixin methods in
-  production, lambdas in unit tests).
+  production, lambdas in unit tests);
+- ``heat`` — optionally, the :class:`~repro.core.placement.heat.
+  HeatTracker` each accepted write feeds.
+
+Invariants
+----------
+- Only the **write-token holder** for a major distributes updates; the
+  pipeline acquires the token (or forwards the update to the holder)
+  before touching the version, and does so under the per-segment update
+  lock, so version pairs advance by exactly one ``sub`` per update.
+- A ``guard`` is checked against the *token's* version (the authority),
+  never a replica's — replicas may legitimately lag by in-flight updates.
+- ``deliver_update`` may assume updates for one major arrive in causal
+  order: a sub gap means this member missed updates (it repairs by
+  refetch), never that the sender skipped one.
+- The write returns after ``write_safety`` replies; the full reply set is
+  audited in the background, and that audit is the *only* place replica
+  loss is detected (§3.1: no replica generation without updates).
 """
 
 from __future__ import annotations
@@ -58,13 +75,15 @@ class UpdatePipeline:
     """Write-path service of one segment server."""
 
     def __init__(self, transport, catalog: CatalogService, store: ReplicaStore,
-                 hooks: UpdateHooks, metrics: Metrics | None = None):
+                 hooks: UpdateHooks, metrics: Metrics | None = None,
+                 heat=None):
         self.transport = transport
         self.kernel = transport.kernel
         self.catalog = catalog
         self.store = store
         self.hooks = hooks
         self.metrics = metrics or store.metrics
+        self.heat = heat                # HeatTracker or None
         #: §3.3 optimization 1 — broadcast the first update of a stream in
         #: the same message as the token request.  Off by default: "Deceit
         #: currently uses neither of these optimizations."
@@ -77,7 +96,8 @@ class UpdatePipeline:
     async def write(self, sid: str, op: WriteOp,
                     guard: VersionPair | None = None,
                     version: int | None = None,
-                    single_update_hint: bool = False) -> VersionPair:
+                    single_update_hint: bool = False,
+                    heat_addr: str | None = None) -> VersionPair:
         """Distribute one update through the write-token protocol.
 
         ``guard`` makes the write conditional on the segment still being at
@@ -125,6 +145,11 @@ class UpdatePipeline:
             safety = min(cat.params.write_safety,
                          len(self.transport.members(group_of(sid))))
             self.metrics.incr("deceit.updates")
+            if self.heat is not None:
+                # attributed to the server whose client issued the update
+                # (a forwarded write heats the forwarder, not this holder)
+                self.heat.note_write(sid, major,
+                                     heat_addr or self.transport.addr)
             await self.transport.cbcast(
                 group_of(sid), payload,
                 nreplies=safety,
@@ -187,7 +212,8 @@ class UpdatePipeline:
         """RPC handler at the token holder for forwarded single updates."""
         guard_vp = VersionPair.from_tuple(guard) if guard is not None else None
         new_version = await self.write(sid, WriteOp.from_dict(wop),
-                                       guard=guard_vp, version=major)
+                                       guard=guard_vp, version=major,
+                                       heat_addr=src)
         return {"version": new_version.to_tuple()}
 
     # ------------------------------------------------------------------ #

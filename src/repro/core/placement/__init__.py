@@ -1,0 +1,26 @@
+"""The placement layer: load-driven replica location management.
+
+Deceit's flexibility knobs — per-file replica level and file migration —
+are static ``FileParams`` chosen at create time.  This package makes
+replica *location* a managed, load-driven property instead:
+
+- :class:`~repro.core.placement.heat.HeatTracker` — per-segment,
+  per-server EWMA read/write rates, fed by the
+  :class:`~repro.core.pipeline.read_path.ReadService` and
+  :class:`~repro.core.pipeline.update.UpdatePipeline` hot paths;
+- :class:`~repro.core.placement.rebalancer.Rebalancer` — one per server:
+  a periodic control loop that migrates hot segments toward their
+  readers, sheds cold over-replicated segments down to the file's
+  replica level, and regenerates under-replicated segments after member
+  failure.  Generalizes the one-shot ``file_migration`` path of §3.1
+  method 4 into a background loop with hysteresis.
+
+The loop is **off by default** (``testbed.build_*_cluster(rebalance=
+True)`` arms it) so the paper's lazy §3.1 semantics — no replica
+generation without updates — stay the default behaviour.
+"""
+
+from repro.core.placement.heat import HeatTracker
+from repro.core.placement.rebalancer import PlacementConfig, Rebalancer
+
+__all__ = ["HeatTracker", "PlacementConfig", "Rebalancer"]

@@ -1,0 +1,142 @@
+"""HeatTracker: per-segment, per-server EWMA access rates.
+
+Every segment server owns one tracker.  The read path notes one event per
+read *attributed to the server whose clients wanted the bytes* — a local
+read notes this server, a forwarded read served for a peer notes the
+peer — and the write path notes updates the same way.  Scores decay
+exponentially (half-life ``halflife_ms``), so the tracker answers "how hot
+is this segment, here and for whom, *right now*" without keeping samples.
+
+The decayed event count of a steady stream of ``r`` events/second
+converges to ``r · halflife / ln 2``, so rates are recovered from scores
+by the inverse factor; a single event therefore reads as
+``ln 2 / halflife`` events/second, decaying from there.
+
+The :class:`~repro.core.placement.rebalancer.Rebalancer` consumes the
+rates each control round and surfaces their distribution in the
+``placement.read_rate`` / ``placement.write_rate`` metrics histograms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.metrics import Metrics
+from repro.sim import Kernel
+
+LN2 = math.log(2.0)
+#: Entries whose decayed score falls below this are dropped when pruning.
+MIN_SCORE = 0.01
+
+
+class HeatTracker:
+    """Decayed per-``(sid, major)``, per-server read/write event rates."""
+
+    #: Self-prune every this many noted events, so trackers stay bounded
+    #: even on servers whose rebalance loop (the usual pruner) is off.
+    PRUNE_EVERY = 256
+
+    def __init__(self, kernel: Kernel, halflife_ms: float = 1000.0,
+                 metrics: Metrics | None = None):
+        self.kernel = kernel
+        self.halflife_ms = halflife_ms
+        self.metrics = metrics or Metrics()
+        # (sid, major) -> addr -> (decayed score, last event/observation ts)
+        self._reads: dict[tuple[str, int], dict[str, tuple[float, float]]] = {}
+        self._writes: dict[tuple[str, int], dict[str, tuple[float, float]]] = {}
+        self._events_since_prune = 0
+
+    # ------------------------------------------------------------------ #
+    # feeding (called from the read / update hot paths)
+    # ------------------------------------------------------------------ #
+
+    def note_read(self, sid: str, major: int, addr: str) -> None:
+        """One read of ``(sid, major)`` on behalf of server ``addr``."""
+        self._bump(self._reads, sid, major, addr)
+
+    def note_write(self, sid: str, major: int, addr: str) -> None:
+        """One update of ``(sid, major)`` issued through server ``addr``."""
+        self._bump(self._writes, sid, major, addr)
+
+    def _bump(self, table: dict, sid: str, major: int, addr: str) -> None:
+        now = self.kernel.now
+        per_addr = table.setdefault((sid, major), {})
+        score, ts = per_addr.get(addr, (0.0, now))
+        per_addr[addr] = (self._decayed(score, ts, now) + 1.0, now)
+        self._events_since_prune += 1
+        if self._events_since_prune >= self.PRUNE_EVERY:
+            self.prune()
+
+    def _decayed(self, score: float, ts: float, now: float) -> float:
+        return score * 2.0 ** (-(now - ts) / self.halflife_ms)
+
+    def decay(self, value: float, since: float) -> float:
+        """Decay an externally sampled value from time ``since`` to now
+        under this tracker's half-life (e.g. a peer's reported rate)."""
+        return self._decayed(value, since, self.kernel.now)
+
+    def _rate_of(self, score: float, ts: float, now: float) -> float:
+        """Decayed score → events per *second* (kernel time is in ms)."""
+        return self._decayed(score, ts, now) * LN2 / self.halflife_ms * 1000.0
+
+    # ------------------------------------------------------------------ #
+    # querying (called by the rebalancer)
+    # ------------------------------------------------------------------ #
+
+    def read_rate(self, sid: str, major: int, addr: str) -> float:
+        """Current read rate (events/s) attributed to ``addr``."""
+        entry = self._reads.get((sid, major), {}).get(addr)
+        if entry is None:
+            return 0.0
+        return self._rate_of(*entry, self.kernel.now)
+
+    def read_rates(self, sid: str, major: int) -> dict[str, float]:
+        """Current per-server read rates for one segment version."""
+        now = self.kernel.now
+        return {addr: self._rate_of(score, ts, now)
+                for addr, (score, ts) in
+                self._reads.get((sid, major), {}).items()}
+
+    def total_read_rate(self, sid: str, major: int) -> float:
+        """Aggregate read rate across every attributed server."""
+        return sum(self.read_rates(sid, major).values())
+
+    def total_write_rate(self, sid: str, major: int) -> float:
+        """Aggregate update rate across every attributed server."""
+        now = self.kernel.now
+        return sum(self._rate_of(score, ts, now) for score, ts in
+                   self._writes.get((sid, major), {}).values())
+
+    def read_keys(self) -> list[tuple[str, int]]:
+        """Every ``(sid, major)`` with recorded read heat."""
+        return list(self._reads)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def prune(self) -> None:
+        """Drop fully-decayed entries so idle segments cost no memory."""
+        now = self.kernel.now
+        self._events_since_prune = 0
+        for table in (self._reads, self._writes):
+            for key in list(table):
+                per_addr = table[key]
+                for addr in list(per_addr):
+                    score, ts = per_addr[addr]
+                    if self._decayed(score, ts, now) < MIN_SCORE:
+                        del per_addr[addr]
+                if not per_addr:
+                    del table[key]
+
+    def forget(self, sid: str, major: int | None = None) -> None:
+        """Drop heat for one major (or every major) of a segment."""
+        for table in (self._reads, self._writes):
+            for key in list(table):
+                if key[0] == sid and (major is None or key[1] == major):
+                    del table[key]
+
+    def clear(self) -> None:
+        """Forget everything (host crashed: heat is volatile state)."""
+        self._reads.clear()
+        self._writes.clear()

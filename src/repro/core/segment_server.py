@@ -45,6 +45,7 @@ from repro.core.pipeline import (
     group_of,
     sid_of,
 )
+from repro.core.placement import HeatTracker, PlacementConfig, Rebalancer
 from repro.core.replication import ReplicationMixin
 from repro.core.segment import MajorInfo, Replica, SegmentCatalog, Token, WriteOp
 from repro.core.stability import StabilityMixin
@@ -63,7 +64,8 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
     """One per machine; the GroupApp its IsisProcess hosts."""
 
     def __init__(self, proc: IsisProcess, disk: Disk, rank: int,
-                 metrics: Metrics | None = None):
+                 metrics: Metrics | None = None,
+                 placement_config: PlacementConfig | None = None):
         self.proc = proc
         self.kernel = proc.kernel
         self.disk = disk
@@ -74,15 +76,18 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
         self._update_locks: dict[str, Lock] = {}
         self._stable_timers: dict[tuple[str, int], Any] = {}
         self._sid_counter = 0
-        # the composable services (see repro.core.pipeline)
+        # the composable services (see repro.core.pipeline / .placement)
         self.store = ReplicaStore(self.kernel, disk, self.metrics)
         self.cat = CatalogService(proc, self.store, self.alloc,
                                   self.kernel, self.metrics)
         self.conflict_dir = ConflictDirectory(proc, self.metrics)
+        self.heat = HeatTracker(self.kernel, metrics=self.metrics)
+        self.placement = Rebalancer(self, self.heat, config=placement_config,
+                                    metrics=self.metrics)
         self.reads = ReadService(proc, self.cat, self.store,
                                  stability_recovery=self._stability_recovery,
-                                 request_migration=self._request_migration,
-                                 metrics=self.metrics)
+                                 request_migration=self.placement.migrate_here,
+                                 metrics=self.metrics, heat=self.heat)
         self.pipeline = UpdatePipeline(
             proc, self.cat, self.store,
             UpdateHooks(
@@ -98,6 +103,7 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
                 token_waits=self._token_waits,
             ),
             self.metrics,
+            heat=self.heat,
         )
         self.recovery = RecoveryService(proc, self.cat, self.store,
                                         self, self.metrics)
@@ -110,6 +116,8 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
         proc.register_handler("seg_request_replica", self._h_request_replica)
         proc.register_handler("seg_feed", self._h_feed)
         proc.register_handler("seg_exchange", self.recovery.handle_exchange)
+        proc.register_handler("seg_heat_report",
+                              self.placement.handle_heat_report)
         # Partition heal: when a silent peer is heard from again, the sides
         # re-merge their file groups and reconcile versions (§3.6).
         proc.fd.subscribe(on_alive=self.recovery.on_peer_alive)
@@ -432,6 +440,7 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
         self.store.tokens.pop((sid, major), None)
         await self.store.delete_token_record(sid, major)
         await self._destroy_local_replica(sid, major)
+        self.placement.forget(sid, major)
         timer = self._stable_timers.pop((sid, major), None)
         if timer is not None:
             timer.cancel()
@@ -484,6 +493,7 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
             handle.cancel()
         self._stable_timers.clear()
         self.conflict_dir.reset()
+        self.placement.reset()
 
     async def recover(self) -> None:
         """Rebuild from non-volatile state after a restart (§3.6)."""

@@ -202,6 +202,22 @@ class Metrics:
                     f"{name}: n={stats.count} mean={stats.mean:.2f} "
                     f"p50={stats.percentile(50):.2f} "
                     f"p99={stats.percentile(99):.2f} max={stats.maximum:.2f}")
+        placement = {
+            "heat-driven migrations": self.counters["placement.attractions"],
+            "replicas shed": self.counters["placement.sheds"],
+            "replicas regenerated": self.counters["placement.regenerations"],
+            "heat reports": self.counters["placement.heat_reports"],
+        }
+        if any(placement.values()):
+            lines.append("placement: " + "  ".join(
+                f"{label}: {value}" for label, value in placement.items()))
+        for name in ("placement.read_rate", "placement.write_rate"):
+            stats = self._latencies.get(name)
+            if stats and stats.count:
+                lines.append(
+                    f"{name} (events/s): n={stats.count} "
+                    f"mean={stats.mean:.2f} p50={stats.percentile(50):.2f} "
+                    f"max={stats.maximum:.2f}")
         return "\n".join(lines)
 
     def report(self, prefix: str = "") -> str:

@@ -38,6 +38,19 @@ MAX_DIR_RETRIES = 16
 GLOBAL_ROOT_SID = "@global"
 
 
+def placement_hint(result: ReadResult) -> dict[str, Any] | None:
+    """Placement hint piggybacked on read replies.
+
+    Tells the agent-side router where the segment's replicas currently
+    live (and who served this read), so subsequent reads can go straight
+    to a holder instead of always the mount server.  ``None`` when the
+    serving server had no holder knowledge to share.
+    """
+    if not result.holders:
+        return None
+    return {"holders": list(result.holders), "served_by": result.served_by}
+
+
 def encode_dir(entries: dict[str, dict[str, str]]) -> bytes:
     """Serialize a directory entry table into segment data."""
     return json.dumps({"entries": entries}, sort_keys=True).encode()

@@ -27,7 +27,7 @@ from repro.isis import IsisProcess
 from repro.metrics import Metrics
 from repro.net import Network
 from repro.nfs.attrs import FileAttrs, FileType
-from repro.nfs.envelope import GLOBAL_ROOT_SID, Envelope
+from repro.nfs.envelope import GLOBAL_ROOT_SID, Envelope, placement_hint
 from repro.nfs.fhandle import FileHandle
 from repro.storage import Disk
 
@@ -39,7 +39,7 @@ class DeceitServer:
 
     def __init__(self, network: Network, addr: str, cell_peers: list[str],
                  rank: int, metrics: Metrics | None = None,
-                 fd_timeout_ms: float = 200.0):
+                 fd_timeout_ms: float = 200.0, placement_config=None):
         self.addr = addr
         self.proc = IsisProcess(network, addr, cell_peers=cell_peers,
                                 fd_timeout_ms=fd_timeout_ms)
@@ -47,7 +47,8 @@ class DeceitServer:
         self.metrics = metrics or network.metrics
         self.disk = Disk(self.kernel, name=f"{addr}.disk", metrics=self.metrics)
         self.segments = SegmentServer(self.proc, self.disk, rank,
-                                      metrics=self.metrics)
+                                      metrics=self.metrics,
+                                      placement_config=placement_config)
         self.envelope = Envelope(self.segments)
         self.proc.register_handler("nfs", self._h_nfs)
         self.proc.register_handler("nfs_root", self._h_root)
@@ -176,8 +177,12 @@ class DeceitServer:
             else:
                 result = await env.read_result(fh, args.get("offset", 0),
                                                args.get("count"))
-            return {"status": 0, "data": result.data,
-                    "version": [result.major, result.version.sub]}
+            reply = {"status": 0, "data": result.data,
+                     "version": [result.major, result.version.sub]}
+            hint = placement_hint(result)
+            if hint is not None:
+                reply["placement"] = hint
+            return reply
         if op == "write":
             attrs = await env.write(fh, args.get("offset", 0), args["data"])
             return {"status": 0, "attrs": attrs.to_wire()}

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.agent import Agent, AgentConfig
 from repro.core import SegmentServer
+from repro.core.placement import PlacementConfig
 from repro.isis import IsisProcess
 from repro.metrics import Metrics
 from repro.net import LanWanLatency, LatencyModel, Network, UniformLatency
@@ -73,6 +74,8 @@ def build_core_cluster(
     drop_probability: float = 0.0,
     fd_timeout_ms: float = 200.0,
     disk_group_commit: bool = True,
+    rebalance: bool = False,
+    placement: PlacementConfig | None = None,
 ) -> CoreCluster:
     """Stand up ``n_servers`` segment servers named ``s0`` … ``s{n-1}``.
 
@@ -80,6 +83,9 @@ def build_core_cluster(
     the kernel briefly or await your first operation before relying on it).
     ``disk_group_commit=False`` swaps in the naive serial disk (one commit
     per record) — the baseline the batching benchmarks compare against.
+    ``rebalance=True`` arms the heat-driven placement control loop on
+    every server (see :mod:`repro.core.placement`); ``placement`` tunes
+    its thresholds.
     """
     kernel = Kernel()
     metrics = Metrics()
@@ -95,7 +101,8 @@ def build_core_cluster(
                            fd_timeout_ms=fd_timeout_ms)
         disk = Disk(kernel, name=f"{addr}.disk", metrics=metrics,
                     group_commit=disk_group_commit)
-        server = SegmentServer(proc, disk, rank, metrics=metrics)
+        server = SegmentServer(proc, disk, rank, metrics=metrics,
+                               placement_config=placement)
         proc.set_cell_peers(addrs)
         proc.start()
         procs.append(proc)
@@ -104,6 +111,8 @@ def build_core_cluster(
     for server in servers:
         kernel.spawn(server.join_conflict_group())
         server.start_merge_audit()
+        if rebalance:
+            server.placement.start()
     return CoreCluster(kernel=kernel, network=network, metrics=metrics,
                        procs=procs, servers=servers, disks=disks)
 
@@ -158,34 +167,42 @@ def build_cluster(
     agent_config: AgentConfig | None = None,
     fd_timeout_ms: float = 200.0,
     cell: str = "",
+    rebalance: bool = False,
+    placement: PlacementConfig | None = None,
 ) -> Cluster:
     """Stand up a full Deceit cell with a bootstrapped namespace.
 
     Servers are ``s0`` … (prefixed with ``<cell>/`` when ``cell`` is set);
     agents are ``c0`` …, all mounted on server 0 initially (failover takes
-    them elsewhere when enabled).
+    them elsewhere when enabled).  ``rebalance=True`` arms the placement
+    control loop on every server.
     """
     kernel = Kernel()
     metrics = Metrics()
     network = Network(kernel, latency=latency or UniformLatency(1.0, 3.0),
                       seed=seed, metrics=metrics)
     cluster = _build_cell(kernel, network, metrics, n_servers, n_agents,
-                          agent_config, fd_timeout_ms, cell)
+                          agent_config, fd_timeout_ms, cell,
+                          rebalance=rebalance, placement=placement)
     return cluster
 
 
 def _build_cell(kernel, network, metrics, n_servers, n_agents,
-                agent_config, fd_timeout_ms, cell) -> Cluster:
+                agent_config, fd_timeout_ms, cell,
+                rebalance=False, placement=None) -> Cluster:
     prefix = f"{cell}." if cell else ""
     addrs = [f"{prefix}s{i}" for i in range(n_servers)]
     servers = [
         DeceitServer(network, addr, cell_peers=addrs, rank=rank,
-                     metrics=metrics, fd_timeout_ms=fd_timeout_ms)
+                     metrics=metrics, fd_timeout_ms=fd_timeout_ms,
+                     placement_config=placement)
         for rank, addr in enumerate(addrs)
     ]
     for server in servers:
         server.proc.set_cell_peers(addrs)
         server.start()
+        if rebalance:
+            server.segments.placement.start()
     root = kernel.run_until_complete(servers[0].bootstrap_namespace(),
                                      limit=120_000.0)
     for server in servers[1:]:
@@ -203,6 +220,8 @@ def build_cells(
     n_agents_per_cell: int = 1,
     seed: int = 0,
     agent_config: AgentConfig | None = None,
+    rebalance: bool = False,
+    placement: PlacementConfig | None = None,
 ) -> dict[str, Cluster]:
     """Multiple independent cells on one wide-area network (§2.2, Figure 3).
 
@@ -218,5 +237,6 @@ def build_cells(
     out: dict[str, Cluster] = {}
     for name, count in cells.items():
         out[name] = _build_cell(kernel, network, metrics, count,
-                                n_agents_per_cell, agent_config, 200.0, name)
+                                n_agents_per_cell, agent_config, 200.0, name,
+                                rebalance=rebalance, placement=placement)
     return out

@@ -15,6 +15,8 @@ from repro.workloads.generator import (
     OpKind,
     WorkloadConfig,
     WorkloadGenerator,
+    hotspot_config,
+    zipf_weights,
 )
 from repro.workloads.replay import ReplayStats, replay
 
@@ -25,5 +27,7 @@ __all__ = [
     "ReplayStats",
     "WorkloadConfig",
     "WorkloadGenerator",
+    "hotspot_config",
     "replay",
+    "zipf_weights",
 ]

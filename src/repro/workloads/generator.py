@@ -67,9 +67,45 @@ class WorkloadConfig:
     median_file_bytes: int = 4096
     max_file_bytes: int = 20 * 1024   # "most files are small"
     dir_zipf_s: float = 1.2           # directory-locality skew
+    #: When set, file choice is Zipf(s) over the popularity-ranked *whole*
+    #: population (a skewed hotspot) instead of two-level dir/file picking.
+    file_zipf_s: float | None = None
     burst_length: int = 4             # rewrites per write burst
     write_share_collision_prob: float = 0.01  # concurrent writes are rare
     seed: int = 0
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Unnormalized Zipf(s) popularity weights over ranks ``0..n-1``.
+
+    The shared skew primitive: directory locality, the hotspot workload,
+    and the rebalancing benchmarks all draw from this shape."""
+    return [1.0 / (rank + 1) ** s for rank in range(n)]
+
+
+def hotspot_config(**overrides) -> WorkloadConfig:
+    """A skewed-hotspot profile: Zipf file popularity and a read-heavy mix.
+
+    Models the regime the placement layer exists for — many clients
+    hammering a small hot set through whatever server they mounted — as
+    opposed to the paper's §2.3 baseline mix.  Keyword overrides replace
+    any :class:`WorkloadConfig` field.
+    """
+    base: dict = dict(
+        file_zipf_s=1.2,
+        mean_interarrival_ms=15.0,
+        op_mix={
+            OpKind.GETATTR: 0.15,
+            OpKind.LOOKUP: 0.10,
+            OpKind.READ: 0.60,
+            OpKind.WRITE: 0.10,
+            OpKind.CREATE: 0.02,
+            OpKind.REMOVE: 0.01,
+            OpKind.READDIR: 0.02,
+        },
+    )
+    base.update(overrides)
+    return WorkloadConfig(**base)
 
 
 class WorkloadGenerator:
@@ -90,6 +126,12 @@ class WorkloadGenerator:
             for f in range(cfg.files_per_dir):
                 size = self._file_size()
                 self.files.append(FileProfile(f"{dirpath}/file{f}", size))
+        # the population is fixed from here on: compute choice weights once
+        self._dir_weights = zipf_weights(cfg.n_dirs, cfg.dir_zipf_s)
+        self._file_weights = (
+            zipf_weights(len(self.files), cfg.file_zipf_s)
+            if cfg.file_zipf_s is not None else None
+        )
 
     def _file_size(self) -> int:
         """Log-normal-ish small sizes, capped at the paper's 20 KB bound."""
@@ -101,13 +143,16 @@ class WorkloadGenerator:
     def _pick_dir_index(self) -> int:
         """Zipf-like directory choice: activity clusters in few dirs."""
         cfg = self.config
-        weights = [1.0 / (rank + 1) ** cfg.dir_zipf_s
-                   for rank in range(cfg.n_dirs)]
-        return self.rng.choices(range(cfg.n_dirs), weights=weights)[0]
+        return self.rng.choices(range(cfg.n_dirs),
+                                weights=self._dir_weights)[0]
 
     def _pick_file(self) -> FileProfile:
-        d = self._pick_dir_index()
         cfg = self.config
+        if self._file_weights is not None:
+            index = self.rng.choices(range(len(self.files)),
+                                     weights=self._file_weights)[0]
+            return self.files[index]
+        d = self._pick_dir_index()
         index = d * cfg.files_per_dir + self.rng.randrange(cfg.files_per_dir)
         return self.files[index]
 

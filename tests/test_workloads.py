@@ -6,7 +6,14 @@ from hypothesis import strategies as st
 
 from repro.agent import AgentConfig
 from repro.testbed import build_cluster
-from repro.workloads import OpKind, WorkloadConfig, WorkloadGenerator, replay
+from repro.workloads import (
+    OpKind,
+    WorkloadConfig,
+    WorkloadGenerator,
+    hotspot_config,
+    replay,
+    zipf_weights,
+)
 
 
 def test_population_respects_small_file_assumption():
@@ -57,6 +64,30 @@ def test_directory_locality():
     ranked = sorted(per_dir.values(), reverse=True)
     top2 = sum(ranked[:2]) / sum(ranked)
     assert top2 > 0.5  # top quarter of dirs gets most of the traffic
+
+
+def test_hotspot_config_concentrates_traffic_on_few_files():
+    """The skewed-hotspot profile: zipf popularity over the whole file
+    population, with a read-heavy mix (the rebalancer's target regime)."""
+    cfg = hotspot_config(duration_ms=120_000.0, seed=11)
+    assert cfg.file_zipf_s is not None
+    ops = WorkloadGenerator(cfg).generate()
+    per_file: dict[str, int] = {}
+    reads = 0
+    for op in ops:
+        per_file[op.path] = per_file.get(op.path, 0) + 1
+        reads += op.kind is OpKind.READ
+    ranked = sorted(per_file.values(), reverse=True)
+    top5 = sum(ranked[:5]) / sum(ranked)
+    assert top5 > 0.35           # a handful of files take the heat
+    assert reads / len(ops) > 0.45  # and the mix is read-dominated
+
+
+def test_zipf_weights_shape():
+    weights = zipf_weights(10, 1.2)
+    assert len(weights) == 10
+    assert weights == sorted(weights, reverse=True)
+    assert weights[0] == 1.0
 
 
 def test_writes_come_in_bursts():

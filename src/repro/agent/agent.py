@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from enum import Enum
 from typing import Any
 
 from repro.errors import NfsError, NfsStat, RpcTimeout, Unreachable, nfs_error
 from repro.net import Network, Node
 from repro.net.network import RpcRemoteError
-from repro.nfs.attrs import FileAttrs
+from repro.nfs.attrs import FileAttrs, FileType
 from repro.nfs.fhandle import FileHandle
 from repro.nfs.names import split_path
 
@@ -54,6 +54,100 @@ class AgentConfig:
     #: server.  Unlike ``shortcut`` (§5.3) it costs no extra ``locate``
     #: RPC — hints ride replies the agent receives anyway.
     route_hints: bool = False
+    #: Agent-side write-behind: buffer ``write_at``/``write_file`` per
+    #: handle, coalescing overlapping writes, serving read-your-writes
+    #: locally, and flushing on ``flush()``/``close()``/TTL as one batched
+    #: write.  The ack point honors the file's §4 ``write_safety``: level 0
+    #: acks as soon as the bytes are buffered (asynchronous unsafe writes);
+    #: level >= 1 acks when the flush returns — i.e. after the server has
+    #: collected ``write_safety`` replica replies.
+    write_behind: bool = False
+    #: How long a ``write_safety >= 1`` buffered write waits for peers to
+    #: join its flush (group commit at the agent: concurrent writers to one
+    #: handle coalesce into a single batched update).
+    write_behind_window_ms: float = 5.0
+    #: Flush deadline for ``write_safety == 0`` buffered data — the bound
+    #: on how long an acked-but-unflushed write may live only in agent
+    #: memory.
+    write_behind_ttl_ms: float = 50.0
+
+
+class _WriteBuffer:
+    """Per-handle write-behind state: a whole-file image *or* coalesced
+    positioned patches, plus the flush rendezvous.
+
+    ``pending_fut`` is the future for the flush that will cover the
+    currently-buffered bytes (write-safety >= 1 writers await it);
+    ``inflight`` is the flush currently on the wire — new writes buffered
+    while it runs belong to the *next* flush, never the running one.
+    """
+
+    def __init__(self) -> None:
+        self.whole: bytes | None = None
+        self.patches: list[tuple[int, bytes]] = []
+        self.buffered_ops = 0
+        self.pending_fut = None
+        self.inflight = None
+        self.armed = None           # EventHandle of the scheduled flush
+        #: best-known server-side size when buffering began (from the
+        #: attr/data caches) — the base for locally-synthesized attrs
+        self.base_size = 0
+
+    @property
+    def dirty(self) -> bool:
+        return self.whole is not None or bool(self.patches)
+
+    def set_whole(self, data: bytes) -> None:
+        """A truncating whole-file write supersedes everything buffered."""
+        self.whole = data
+        self.patches = []
+        self.buffered_ops += 1
+
+    def add_patch(self, offset: int, data: bytes) -> None:
+        """Fold a positioned write in, merging overlapping/adjacent runs
+        (the incoming bytes win where runs overlap)."""
+        self.buffered_ops += 1
+        if self.whole is not None:
+            image = self.whole
+            if offset > len(image):
+                image = image + b"\x00" * (offset - len(image))
+            self.whole = image[:offset] + data + image[offset + len(data):]
+            return
+        new_off, new_buf = offset, data
+        kept: list[tuple[int, bytes]] = []
+        for off, buf in self.patches:
+            if off + len(buf) < new_off or new_off + len(new_buf) < off:
+                kept.append((off, buf))
+                continue
+            start = min(off, new_off)
+            merged = bytearray(max(off + len(buf),
+                                   new_off + len(new_buf)) - start)
+            merged[off - start: off - start + len(buf)] = buf
+            merged[new_off - start: new_off - start + len(new_buf)] = new_buf
+            new_off, new_buf = start, bytes(merged)
+        kept.append((new_off, new_buf))
+        kept.sort()
+        self.patches = kept
+
+    def overlay(self, base: bytes) -> bytes:
+        """Apply the buffered state over ``base`` (read-your-writes)."""
+        if self.whole is not None:
+            return self.whole
+        out = bytearray(base)
+        for off, buf in self.patches:
+            if off > len(out):
+                out.extend(b"\x00" * (off - len(out)))
+            out[off: off + len(buf)] = buf
+        return bytes(out)
+
+    def extent(self, base_size: int = 0) -> int:
+        """File size implied by the buffer over a ``base_size`` file."""
+        if self.whole is not None:
+            return len(self.whole)
+        if not self.patches:
+            return base_size
+        return max(base_size,
+                   max(off + len(buf) for off, buf in self.patches))
 
 
 class Agent(Node):
@@ -81,6 +175,14 @@ class Agent(Node):
         # sid -> replica holders, learned from read-reply placement hints
         # (preferred holder first)
         self._placement_cache: dict[str, list[str]] = {}
+        # write-behind: fh-key -> buffer (+ the handle to flush it with)
+        self._write_buffers: dict[str, _WriteBuffer] = {}
+        self._wb_handles: dict[str, FileHandle] = {}
+        # sid -> (write_safety, expiry): the ack-point decision cache
+        self._params_cache: dict[str, tuple[int, float]] = {}
+        # fh-key -> asynchronous (safety-0) flush failures, surfaced on
+        # the next flush()/close() of THAT handle (or a flush-all)
+        self._wb_errors: dict[str, list[NfsError]] = {}
         self.metrics = network.metrics
 
     # ------------------------------------------------------------------ #
@@ -185,18 +287,27 @@ class Agent(Node):
     # ------------------------------------------------------------------ #
 
     async def getattr(self, path_or_fh: str | FileHandle) -> FileAttrs:
-        """Attributes, served from the agent cache when fresh."""
+        """Attributes, served from the agent cache when fresh.
+
+        Buffered write-behind bytes are reflected in the returned size
+        (read-your-writes covers attributes too)."""
         fh = await self._resolve(path_or_fh)
         key = fh.encode()
+        attrs = None
         if self.config.cache:
             cached = self._attr_cache.get(key)
             if cached and cached[1] > self.kernel.now:
                 self.metrics.incr("agent.attr_cache_hits")
-                return cached[0]
-        reply = await self._nfs("getattr", {"fh": key})
-        attrs = FileAttrs.from_wire(reply["attrs"])
-        if self.config.cache:
-            self._remember_attrs(fh, attrs)
+                attrs = cached[0]
+        if attrs is None:
+            reply = await self._nfs("getattr", {"fh": key})
+            attrs = FileAttrs.from_wire(reply["attrs"])
+            if self.config.cache:
+                self._remember_attrs(fh, attrs)
+        buf = self._write_buffers.get(key)
+        if buf is not None and buf.dirty:
+            # copy: the overlay must not poison the cached server attrs
+            attrs = dc_replace(attrs, size=buf.extent(attrs.size))
         return attrs
 
     async def _resolve(self, path_or_fh: str | FileHandle) -> FileHandle:
@@ -215,9 +326,17 @@ class Agent(Node):
         """
         fh = await self._resolve(path_or_fh)
         key = fh.encode()
+        buf = self._write_buffers.get(key)
+        if buf is not None and buf.whole is not None:
+            # read-your-writes: the buffered image IS the current contents
+            self.metrics.incr("agent.wb_read_your_writes")
+            return buf.whole
         cached = self._data_cache.get(key) if self.config.cache else None
         if cached and cached[1] > self.kernel.now:
             self.metrics.incr("agent.data_cache_hits")
+            if buf is not None and buf.patches:
+                self.metrics.incr("agent.wb_read_your_writes")
+                return buf.overlay(cached[0])
             return cached[0]
         if self.config.cache:
             self.metrics.incr("agent.data_cache_misses")
@@ -238,6 +357,11 @@ class Agent(Node):
         if self.config.cache:
             self._data_cache[key] = (data, self.kernel.now +
                                      self.config.data_ttl_ms, version)
+        if buf is not None and buf.patches:
+            # overlay buffered positioned writes on the fetched base; the
+            # data cache above keeps the *server's* copy (version-exact)
+            self.metrics.incr("agent.wb_read_your_writes")
+            return buf.overlay(data)
         return data
 
     async def _route_target(self, fh: FileHandle) -> str | None:
@@ -293,27 +417,225 @@ class Agent(Node):
 
     async def write_file(self, path_or_fh: str | FileHandle,
                          data: bytes) -> FileAttrs:
-        """Whole-file write: truncate-and-write in one NFS write at 0."""
+        """Whole-file write (§2.3's dominant pattern): one atomic
+        truncate-and-write NFS round.
+
+        The ``truncate`` flag makes the server replace the contents in a
+        single ``setdata`` segment update — one round, one version bump,
+        and no window where a concurrent reader sees an empty file or a
+        crash loses the old bytes without producing the new ones.  With
+        ``write_behind`` enabled the image is buffered instead (see
+        :meth:`_buffer_write`).
+        """
         fh = await self._resolve(path_or_fh)
-        await self._nfs("setattr", {"fh": fh.encode(), "sattr": {"size": 0}})
-        reply = await self._nfs("write", {"fh": fh.encode(), "offset": 0,
-                                          "data": data},
-                                size_bytes=max(256, len(data)))
+        if self.config.write_behind:
+            return await self._buffer_write(fh, whole=data)
+        return await self._write_through(
+            fh, {"fh": fh.encode(), "offset": 0, "data": data,
+                 "truncate": True}, size=len(data))
+
+    async def write_at(self, path_or_fh: str | FileHandle, offset: int,
+                       data: bytes) -> FileAttrs:
+        """Positioned write (buffered and coalesced under write-behind)."""
+        fh = await self._resolve(path_or_fh)
+        if self.config.write_behind:
+            return await self._buffer_write(fh, offset=offset, data=data)
+        return await self._write_through(
+            fh, {"fh": fh.encode(), "offset": offset, "data": data},
+            size=len(data))
+
+    async def _write_through(self, fh: FileHandle, args: dict[str, Any],
+                             size: int) -> FileAttrs:
+        reply = await self._nfs("write", args, size_bytes=max(256, size))
         self._invalidate(fh)
         attrs = FileAttrs.from_wire(reply["attrs"])
         if self.config.cache:
             self._remember_attrs(fh, attrs)
         return attrs
 
-    async def write_at(self, path_or_fh: str | FileHandle, offset: int,
-                       data: bytes) -> FileAttrs:
-        """Positioned write."""
-        fh = await self._resolve(path_or_fh)
-        reply = await self._nfs("write", {"fh": fh.encode(), "offset": offset,
-                                          "data": data},
-                                size_bytes=max(256, len(data)))
+    # ------------------------------------------------------------------ #
+    # write-behind: buffer / coalesce / flush
+    # ------------------------------------------------------------------ #
+
+    async def _buffer_write(self, fh: FileHandle, whole: bytes | None = None,
+                            offset: int = 0, data: bytes = b"") -> FileAttrs:
+        """Buffer one write; the ack point follows the file's write_safety.
+
+        Safety 0 (asynchronous unsafe writes, §4) acks as soon as the
+        bytes are in the buffer and relies on the TTL flush.  Safety >= 1
+        arms a short group-commit window and awaits the flush — every
+        writer that joins the window shares one batched update, and each
+        returns only once the server has collected ``write_safety``
+        replica replies for it.
+        """
+        key = fh.encode()
+        # resolve the ack point FIRST: everything from buffer-fill to the
+        # flush arm/await below is then one atomic (await-free) block, so
+        # a concurrent flush can never take the bytes without also taking
+        # the rendezvous future a safety >= 1 writer awaits
+        safety = await self._write_safety(fh)
+        buf = self._write_buffers.get(key)
+        if buf is None:
+            buf = self._write_buffers[key] = _WriteBuffer()
+            self._wb_handles[key] = fh
+        if not buf.dirty:
+            # remember the pre-buffer size so synthesized attrs for
+            # positioned writes don't report the file shrunk to the patch
+            cached_attrs = self._attr_cache.get(key)
+            cached_data = self._data_cache.get(key)
+            buf.base_size = (cached_attrs[0].size if cached_attrs
+                             else len(cached_data[0]) if cached_data else 0)
+        if whole is not None:
+            buf.set_whole(whole)
+        else:
+            buf.add_patch(offset, data)
+        self.metrics.incr("agent.wb_buffered_writes")
+        # buffered bytes supersede whatever the caches say about this file
+        self._data_cache.pop(key, None)
+        self._attr_cache.pop(key, None)
+        if safety == 0:
+            self._arm_flush(key, self.config.write_behind_ttl_ms)
+            return self._buffered_attrs(buf)
+        fut = buf.pending_fut
+        if fut is None:
+            fut = buf.pending_fut = self.kernel.create_future()
+        self._arm_flush(key, self.config.write_behind_window_ms)
+        return await fut
+
+    def _arm_flush(self, key: str, delay_ms: float) -> None:
+        buf = self._write_buffers[key]
+        if buf.armed is not None:
+            return
+        buf.armed = self.kernel.schedule(
+            delay_ms, lambda: self.kernel.spawn(
+                self._flush_buffer(key), name=f"{self.addr}:wb-flush"))
+
+    async def _flush_buffer(self, key: str):
+        """Flush one handle's buffer as a single batched NFS write.
+
+        Returns the (already resolved) flush future, or ``None`` when
+        there was nothing to flush.  Never raises: failures resolve the
+        future (delivered to any safety >= 1 writers awaiting it) and,
+        for fire-and-forget safety-0 flushes, are deferred to the next
+        explicit ``flush()``/``close()``.
+        """
+        buf = self._write_buffers.get(key)
+        if buf is None:
+            return None
+        if buf.armed is not None:
+            buf.armed.cancel()
+            buf.armed = None
+        while buf.inflight is not None:
+            inflight = buf.inflight
+            try:
+                await inflight
+            except NfsError:
+                pass          # that flush's awaiters already received it
+            if buf.inflight is inflight:
+                buf.inflight = None
+        if not buf.dirty:
+            return None
+        had_waiters = buf.pending_fut is not None
+        fut = buf.pending_fut or self.kernel.create_future()
+        buf.pending_fut = None
+        buf.inflight = fut
+        whole, patches = buf.whole, buf.patches
+        n_ops = buf.buffered_ops
+        buf.whole, buf.patches, buf.buffered_ops = None, [], 0
+        fh = self._wb_handles[key]
+        if whole is not None:
+            args: dict[str, Any] = {"fh": key, "offset": 0, "data": whole,
+                                    "truncate": True}
+            size = len(whole)
+        elif len(patches) == 1:
+            args = {"fh": key, "offset": patches[0][0], "data": patches[0][1]}
+            size = len(patches[0][1])
+        else:
+            args = {"fh": key,
+                    "ops": [{"offset": off, "data": data}
+                            for off, data in patches]}
+            size = sum(len(data) for _off, data in patches)
+        try:
+            reply = await self._nfs("write", args, size_bytes=max(256, size))
+        except NfsError as exc:
+            buf.inflight = None
+            if not had_waiters:
+                self._wb_errors.setdefault(key, []).append(exc)
+            if not fut.done():
+                fut.set_exception(exc)
+            return fut
+        buf.inflight = None
+        self.metrics.incr("agent.wb_flushes")
+        if n_ops > 1:
+            self.metrics.incr("agent.wb_writes_coalesced", n_ops - 1)
         self._invalidate(fh)
-        return FileAttrs.from_wire(reply["attrs"])
+        attrs = FileAttrs.from_wire(reply["attrs"])
+        if self.config.cache:
+            self._remember_attrs(fh, attrs)
+        if not fut.done():
+            fut.set_result(attrs)
+        return fut
+
+    async def flush(self, path_or_fh: str | FileHandle | None = None) -> None:
+        """Flush write-behind buffers — one handle's, or every dirty one.
+
+        Raises the first failure, including deferred errors from earlier
+        asynchronous (safety-0) TTL flushes — the ``fsync`` contract.
+        """
+        if path_or_fh is None:
+            keys = sorted(set(self._write_buffers) | set(self._wb_errors))
+        else:
+            fh = await self._resolve(path_or_fh)
+            keys = [fh.encode()]
+        failure: NfsError | None = None
+        for key in keys:
+            fut = await self._flush_buffer(key)
+            if fut is not None:
+                try:
+                    await fut
+                except NfsError as exc:
+                    failure = failure or exc
+            deferred = self._wb_errors.pop(key, None)
+            if deferred and failure is None:
+                failure = deferred[0]
+        if failure is not None:
+            raise failure
+
+    async def close(self, path_or_fh: str | FileHandle) -> None:
+        """Flush and release a handle's write-behind buffer."""
+        fh = await self._resolve(path_or_fh)
+        key = fh.encode()
+        try:
+            await self.flush(fh)
+        finally:
+            self._write_buffers.pop(key, None)
+            self._wb_handles.pop(key, None)
+
+    async def _write_safety(self, fh: FileHandle) -> int:
+        """The file's §4 write_safety level (cached; decides ack points)."""
+        cached = self._params_cache.get(fh.sid)
+        if cached and cached[1] > self.kernel.now:
+            return cached[0]
+        try:
+            reply = await self._cmd("getparam", {"fh": fh.encode()})
+            safety = int(reply["params"]["write_safety"])
+        except (NfsError, RpcTimeout, Unreachable, RpcRemoteError):
+            # unknown (error or unreachable mount server): conservative,
+            # ack on durability — the flush itself goes through _nfs and
+            # gets failover, so the write must not fail here
+            safety = 1
+        self._params_cache[fh.sid] = (
+            safety, self.kernel.now + self.config.attr_ttl_ms)
+        return safety
+
+    def _buffered_attrs(self, buf: _WriteBuffer) -> FileAttrs:
+        """Locally-synthesized attrs for a buffer-acked write (no server
+        round has happened; size/mtime reflect the buffered state over
+        the best-known base size — mode/owner are defaults)."""
+        now = self.kernel.now
+        return FileAttrs(ftype=FileType.REGULAR,
+                         size=buf.extent(buf.base_size),
+                         mtime=now, ctime=now)
 
     async def create(self, dirpath: str, name: str,
                      sattr: dict | None = None) -> FileHandle:
@@ -347,26 +669,50 @@ class Agent(Node):
         fh = await self._resolve(path_or_fh)
         return (await self._nfs("readlink", {"fh": fh.encode()}))["target"]
 
+    def _prune_handle_cache(self, path: str) -> None:
+        """Drop the cached handle for ``path`` AND every cached descendant.
+
+        After a rename or removal of a directory, paths *under* it must
+        stop resolving through stale cached handles — popping only the
+        exact key would leave ``<path>/...`` entries pointing at live
+        handles for names that no longer exist.
+        """
+        path = path.rstrip("/")
+        prefix = path + "/"
+        for cached in list(self._handle_cache):
+            if cached == path or cached.startswith(prefix):
+                del self._handle_cache[cached]
+
     async def remove(self, dirpath: str, name: str) -> None:
         """Unlink a file."""
         dirfh = await self._resolve(dirpath)
+        target = self._handle_cache.get(dirpath.rstrip("/") + "/" + name)
         await self._nfs("remove", {"fh": dirfh.encode(), "name": name})
-        self._handle_cache.pop(dirpath.rstrip("/") + "/" + name, None)
+        self._prune_handle_cache(dirpath.rstrip("/") + "/" + name)
+        if target is not None:
+            self._invalidate(target)    # nlink/ctime changed (or file gone)
+        self._invalidate(dirfh)
 
     async def rmdir(self, dirpath: str, name: str) -> None:
         """Remove an empty directory."""
         dirfh = await self._resolve(dirpath)
         await self._nfs("rmdir", {"fh": dirfh.encode(), "name": name})
-        self._handle_cache.pop(dirpath.rstrip("/") + "/" + name, None)
+        self._prune_handle_cache(dirpath.rstrip("/") + "/" + name)
+        self._invalidate(dirfh)
 
     async def rename(self, fromdir: str, fromname: str,
                      todir: str, toname: str) -> None:
-        """Move/rename a file."""
+        """Move/rename a file (or a whole directory subtree)."""
         fromfh = await self._resolve(fromdir)
         tofh = await self._resolve(todir)
         await self._nfs("rename", {"fh": fromfh.encode(), "fromname": fromname,
                                    "tofh": tofh.encode(), "toname": toname})
-        self._handle_cache.pop(fromdir.rstrip("/") + "/" + fromname, None)
+        # prune descendants of BOTH names: old paths under a renamed
+        # directory are dead, and a rename-over replaced the target
+        self._prune_handle_cache(fromdir.rstrip("/") + "/" + fromname)
+        self._prune_handle_cache(todir.rstrip("/") + "/" + toname)
+        self._invalidate(fromfh)
+        self._invalidate(tofh)
 
     async def link(self, filepath: str, todir: str, name: str) -> None:
         """Create a hard link."""
@@ -374,6 +720,10 @@ class Agent(Node):
         tofh = await self._resolve(todir)
         await self._nfs("link", {"fh": fh.encode(), "tofh": tofh.encode(),
                                  "name": name})
+        # the file's nlink/ctime and the directory's contents both changed;
+        # without this, getattr serves a stale nlink until the TTL lapses
+        self._invalidate(fh)
+        self._invalidate(tofh)
 
     async def readdir(self, path_or_fh: str | FileHandle) -> list[dict]:
         """List a directory."""
@@ -389,7 +739,12 @@ class Agent(Node):
         fh = await self._resolve(path_or_fh)
         reply = await self._cmd("setparam", {"fh": fh.encode(),
                                              "changes": changes})
-        return reply["params"]
+        params = reply["params"]
+        # keep the write-behind ack-point decision in step with the change
+        self._params_cache[fh.sid] = (
+            int(params["write_safety"]),
+            self.kernel.now + self.config.attr_ttl_ms)
+        return params
 
     async def list_versions(self, path_or_fh: str | FileHandle) -> dict[int, tuple]:
         """All live versions of a file (``foo;3`` names, §3.5)."""

@@ -31,6 +31,14 @@ Invariants
 - ``deliver_update`` may assume updates for one major arrive in causal
   order: a sub gap means this member missed updates (it repairs by
   refetch), never that the sender skipped one.
+- A ``batch`` op (an agent write-behind flush of several coalesced
+  positioned writes) is still **one** update: one broadcast round, one
+  ``sub`` bump, one persisted record per member — the agent-side analogue
+  of the disk layer's group commit.
+- The ``length`` recorded in segment meta is derived by
+  :meth:`~repro.core.segment.WriteOp.apply` from the bytes the update
+  actually produced at application time, never trusted from the sender's
+  pre-write stat (which a concurrent truncate could have staled).
 - The write returns after ``write_safety`` replies; the full reply set is
   audited in the background, and that audit is the *only* place replica
   loss is detected (§3.1: no replica generation without updates).
@@ -145,6 +153,10 @@ class UpdatePipeline:
             safety = min(cat.params.write_safety,
                          len(self.transport.members(group_of(sid))))
             self.metrics.incr("deceit.updates")
+            if op.kind == "batch":
+                # several client writes riding one broadcast round
+                self.metrics.incr("deceit.batched_update_parts",
+                                  len(op.parts))
             if self.heat is not None:
                 # attributed to the server whose client issued the update
                 # (a forwarded write heats the forwarder, not this holder)

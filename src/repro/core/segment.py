@@ -25,22 +25,35 @@ from repro.core.versions import HistoryIndex, VersionPair
 class WriteOp:
     """One modification to a segment (§5.1: replace, append, or truncate).
 
-    Two pragmatic extensions the NFS envelope relies on:
+    Three pragmatic extensions the NFS envelope relies on:
 
     - ``setdata`` replaces the entire contents in one atomic update
-      (directory rewrites must not be a truncate *plus* a replace, or
-      concurrent readers could observe the intermediate state);
+      (rewrites — directory tables *and* whole-file writes — must not be a
+      truncate *plus* a replace, or concurrent readers could observe the
+      intermediate state and a crash between the two could lose both the
+      old and the new contents);
+    - ``batch`` applies a list of sub-operations (``parts``) as one
+      atomically-distributed update — how an agent's write-behind buffer
+      flushes several coalesced positioned writes in a single version bump;
     - any op may carry a ``meta`` patch, merged after the data transform —
       attribute changes (mtime with a write, uplink edits with a link) ride
       the same atomically-distributed update as the data they describe.
       A ``None`` value deletes the key.
+
+    For every data-transforming kind, ``apply`` derives ``meta["length"]``
+    from the bytes the op actually produced, *after* the meta patch is
+    merged.  Callers therefore never need to pre-compute the new length
+    from a stat — which could race with a concurrent truncate and persist
+    a wrong length — and any length they do send is only advisory.
     """
 
-    kind: str     # "replace" | "append" | "truncate" | "setdata" | "setmeta"
+    #: "replace" | "append" | "truncate" | "setdata" | "setmeta" | "batch"
+    kind: str
     offset: int = 0
     data: bytes = b""
     length: int = 0
     meta: dict[str, Any] = field(default_factory=dict)
+    parts: list["WriteOp"] = field(default_factory=list)
 
     def apply(self, data: bytes, meta: dict[str, Any]) -> tuple[bytes, dict[str, Any]]:
         """Pure function: new (data, meta) after this operation."""
@@ -59,6 +72,9 @@ class WriteOp:
                 data = data + b"\x00" * (self.length - len(data))
         elif self.kind == "setdata":
             data = self.data
+        elif self.kind == "batch":
+            for part in self.parts:
+                data, meta = part.apply(data, meta)
         elif self.kind != "setmeta":
             raise ValueError(f"unknown write op kind {self.kind!r}")
         if self.meta:
@@ -69,17 +85,50 @@ class WriteOp:
                 else:
                     merged[key] = value
             meta = merged
+        if self.touches_data() and "length" in meta:
+            meta = {**meta, "length": len(data)}
         return data, meta
+
+    def touches_data(self) -> bool:
+        """Whether this op (or any batched part) transforms the data."""
+        if self.kind == "setmeta":
+            return False
+        if self.kind == "batch":
+            return any(part.touches_data() for part in self.parts)
+        return True
+
+    def result_length(self, old_length: int) -> int:
+        """Data length after applying this op to data of ``old_length``.
+
+        Pure arithmetic mirror of :meth:`apply`'s data transform — lets the
+        NFS envelope compute reply attributes from the write itself instead
+        of issuing a follow-up getattr.
+        """
+        if self.kind == "replace":
+            return max(old_length, self.offset + len(self.data))
+        if self.kind == "append":
+            return old_length + len(self.data)
+        if self.kind == "truncate":
+            return self.length
+        if self.kind == "setdata":
+            return len(self.data)
+        if self.kind == "batch":
+            for part in self.parts:
+                old_length = part.result_length(old_length)
+        return old_length
 
     def to_dict(self) -> dict:
         """Message/disk form."""
-        return {
+        out = {
             "kind": self.kind,
             "offset": self.offset,
             "data": self.data,
             "length": self.length,
             "meta": self.meta,
         }
+        if self.parts:
+            out["parts"] = [part.to_dict() for part in self.parts]
+        return out
 
     @classmethod
     def from_dict(cls, raw: dict) -> "WriteOp":
@@ -90,6 +139,7 @@ class WriteOp:
             data=raw.get("data", b""),
             length=raw.get("length", 0),
             meta=raw.get("meta", {}),
+            parts=[cls.from_dict(p) for p in raw.get("parts", [])],
         )
 
 

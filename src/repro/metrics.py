@@ -195,6 +195,15 @@ class Metrics:
         if revalidations:
             lines.append(f"agent version revalidations "
                          f"(payload refetch avoided): {revalidations}")
+        buffered = self.counters["agent.wb_buffered_writes"]
+        if buffered:
+            flushes = self.counters["agent.wb_flushes"]
+            lines.append(
+                f"agent write-behind: {buffered} writes buffered  "
+                f"{flushes} flush rounds  "
+                f"{self.counters['agent.wb_writes_coalesced']} coalesced away  "
+                f"{self.counters['agent.wb_read_your_writes']} "
+                f"read-your-writes serves")
         for name in ("pipeline.write_ms", "pipeline.read_ms"):
             stats = self._latencies.get(name)
             if stats and stats.count:

@@ -223,20 +223,71 @@ class Envelope:
             raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
         return await self.read_result(fh, offset, count)
 
-    async def write(self, fh: FileHandle, offset: int, data: bytes) -> FileAttrs:
-        """WRITE — overwrite/extend at ``offset``; bumps mtime atomically."""
+    async def write(self, fh: FileHandle, offset: int, data: bytes,
+                    truncate: bool = False,
+                    ops: list[dict] | None = None) -> FileAttrs:
+        """WRITE — see :meth:`write_result`; returns the attributes only."""
+        attrs, _version = await self.write_result(fh, offset, data,
+                                                  truncate=truncate, ops=ops)
+        return attrs
+
+    async def write_result(self, fh: FileHandle, offset: int, data: bytes,
+                           truncate: bool = False,
+                           ops: list[dict] | None = None,
+                           ) -> tuple[FileAttrs, tuple[int, int]]:
+        """WRITE — one segment update; bumps mtime atomically.
+
+        Three shapes, all a single version bump:
+
+        - plain positioned write: ``replace`` at ``offset``;
+        - ``truncate=True``: whole-file replacement as one ``setdata``
+          update — truncate-and-write in *one* atomic op, so a concurrent
+          reader never observes the empty intermediate state and a crash
+          never loses the old contents without producing the new ones;
+        - ``ops=[{"offset", "data"}, ...]``: a write-behind flush — the
+          coalesced positioned writes apply as one ``batch`` update.
+
+        The reply attributes are computed **from the write result** (the
+        pre-write meta, the op's own meta patch, and the op-derived
+        length), not from a follow-up getattr whose attrs could reflect a
+        later concurrent write — and which would cost an extra segment op.
+        The persisted ``length`` is derived inside update application
+        (:meth:`~repro.core.segment.WriteOp.apply`), so it can never be
+        poisoned by a truncate racing this write's pre-write stat.
+        """
         self.metrics.incr("nfs.ops.write")
         stat = await self._stat_segment(fh)
         if stat.meta.get("ftype") == FileType.DIRECTORY.value:
             raise nfs_error(NfsStat.ERR_ISDIR, fh.sid)
-        new_length = max(stat.meta.get("length", 0), offset + len(data))
-        op = WriteOp(kind="replace", offset=offset, data=data,
-                     meta={"mtime": self.kernel.now, "length": new_length})
+        patch = {"mtime": self.kernel.now}
+        if truncate:
+            op = WriteOp(kind="setdata", data=data, meta=patch)
+        elif ops is not None:
+            parts = [WriteOp(kind="replace", offset=int(o["offset"]),
+                             data=o["data"]) for o in ops]
+            op = WriteOp(kind="batch", parts=parts, meta=patch)
+        else:
+            op = WriteOp(kind="replace", offset=offset, data=data, meta=patch)
         try:
             version = await self.segments.write(fh.sid, op, version=fh.version)
         except NoSuchSegment as exc:
             raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
-        return await self.getattr(fh)
+        replica = self.segments.store.replicas.get((fh.sid, version.major))
+        if replica is not None and replica.version == version:
+            # this server holds the replica at exactly the version the
+            # write produced: report its post-apply state verbatim (an
+            # in-memory peek — zero extra segment ops)
+            reply_meta = dict(replica.meta)
+            new_length = len(replica.data)
+        else:
+            # forwarded or not-yet-applied locally: derive from the op;
+            # for replace/batch the pre-write length is a best-effort
+            # base, but the *persisted* length is race-free regardless
+            # (WriteOp.apply derives it at application)
+            new_length = op.result_length(stat.meta.get("length", 0))
+            reply_meta = {**stat.meta, **patch, "length": new_length}
+        attrs = FileAttrs.from_meta(reply_meta, new_length)
+        return attrs, (version.major, version.sub)
 
     async def create(self, dirfh: FileHandle, name: str,
                      sattr: dict[str, Any] | None = None,

@@ -184,8 +184,11 @@ class DeceitServer:
                 reply["placement"] = hint
             return reply
         if op == "write":
-            attrs = await env.write(fh, args.get("offset", 0), args["data"])
-            return {"status": 0, "attrs": attrs.to_wire()}
+            attrs, version = await env.write_result(
+                fh, args.get("offset", 0), args.get("data", b""),
+                truncate=args.get("truncate", False), ops=args.get("ops"))
+            return {"status": 0, "attrs": attrs.to_wire(),
+                    "version": list(version)}
         if op == "create":
             out_fh, attrs = await env.create(fh, args["name"], args.get("sattr"))
             return {"status": 0, "fh": out_fh.encode(), "attrs": attrs.to_wire()}

@@ -154,6 +154,13 @@ class Cluster:
         """Remove the partition."""
         self.network.heal()
 
+    async def drain_agents(self) -> None:
+        """Flush every agent's write-behind buffer (benchmark barrier:
+        after this, all acked writes are on the servers)."""
+        for agent in self.agents:
+            if agent.config.write_behind:
+                await agent.flush()
+
     def close(self) -> None:
         """End the simulation: drop queued events, close un-run tasks."""
         self.kernel.shutdown()

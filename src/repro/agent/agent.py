@@ -170,6 +170,13 @@ class Agent(Node):
         self._attr_cache: dict[str, tuple[FileAttrs, float]] = {}
         # fh -> (data, expiry, version pair or None)
         self._data_cache: dict[str, tuple[bytes, float, tuple | None]] = {}
+        # dirfh -> (entries, expiry, version pair or None): the readdir
+        # cache, version-validated on expiry and kept coherent by the
+        # dir_version pairs riding this agent's own mutation replies
+        self._dir_cache: dict[str, tuple[list[dict], float, tuple | None]] = {}
+        # (dirfh, name) -> expiry: names this agent recently saw ERR_NOENT
+        # for — a fresh entry answers the repeat lookup with no RPC
+        self._neg_cache: dict[tuple[str, str], float] = {}
         self._handle_cache: dict[str, FileHandle] = {}
         self._location_cache: dict[str, str] = {}
         # sid -> replica holders, learned from read-reply placement hints
@@ -267,12 +274,54 @@ class Agent(Node):
             if self.config.cache and prefix in self._handle_cache:
                 fh = self._handle_cache[prefix]
                 continue
-            reply = await self._nfs("lookup", {"fh": fh.encode(), "name": part})
+            cached = self._lookup_cached(fh, part)
+            if cached is not None:
+                hit_fh, _entry = cached
+                fh = hit_fh
+                if self.config.cache:
+                    self._handle_cache[prefix] = fh
+                continue
+            try:
+                reply = await self._nfs("lookup", {"fh": fh.encode(),
+                                                   "name": part})
+            except NfsError as exc:
+                if exc.status == NfsStat.ERR_NOENT and self.config.cache \
+                        and ";" not in part:
+                    self._remember_negative(fh.encode(), part)
+                raise
             fh = FileHandle.decode(reply["fh"])
             if self.config.cache:
                 self._handle_cache[prefix] = fh
                 self._remember_attrs(fh, FileAttrs.from_wire(reply["attrs"]))
         return fh
+
+    def _lookup_cached(self, dirfh: FileHandle,
+                       name: str) -> tuple[FileHandle, dict] | None:
+        """Resolve one component from the agent-side directory caches.
+
+        Two sources, both fed by this agent's own traffic: a fresh
+        negative-lookup entry answers the repeat miss (raising ERR_NOENT
+        with no RPC), and a fresh cached listing answers both hits and
+        misses — a listed name yields its handle, an unlisted one is a
+        authoritative-as-of-that-version miss.  Version-qualified names
+        (``foo;3``) always go to the server.
+        """
+        if not self.config.cache or ";" in name:
+            return None
+        key = dirfh.encode()
+        if self._neg_cache.get((key, name), 0.0) > self.kernel.now:
+            self.metrics.incr("agent.neg_lookup_hits")
+            raise nfs_error(NfsStat.ERR_NOENT, f"{name} (cached miss)")
+        cached = self._dir_cache.get(key)
+        if cached and cached[1] > self.kernel.now:
+            entry = next((e for e in cached[0] if e["name"] == name), None)
+            if entry is None:
+                self.metrics.incr("agent.neg_lookup_hits")
+                raise nfs_error(NfsStat.ERR_NOENT,
+                                f"{name} (not in cached listing)")
+            self.metrics.incr("agent.dir_cache_hits")
+            return FileHandle.decode(entry["fh"]), entry
+        return None
 
     def _remember_attrs(self, fh: FileHandle, attrs: FileAttrs) -> None:
         self._attr_cache[fh.encode()] = (attrs, self.kernel.now +
@@ -281,6 +330,72 @@ class Agent(Node):
     def _invalidate(self, fh: FileHandle) -> None:
         self._attr_cache.pop(fh.encode(), None)
         self._data_cache.pop(fh.encode(), None)
+
+    # ------------------------------------------------------------------ #
+    # readdir / negative-lookup cache upkeep (fed by dirop results)
+    # ------------------------------------------------------------------ #
+
+    def _feed_dir_cache(self, dirfh: FileHandle, name: str,
+                        entry: dict | None, dir_version) -> None:
+        """Fold one of this agent's own directory mutations into the caches.
+
+        ``entry`` is the listing row the name now maps to (``None`` =
+        removed); ``dir_version`` is the directory's post-op version pair
+        from the mutation reply.  The cached listing is patched in place
+        **only** when the new version is the immediate successor of the
+        cached one — i.e. this mutation was provably the only change since
+        the listing was taken; anything else (a gap means other clients
+        mutated in between, a missing version means the fallback path ran)
+        drops the listing so the next readdir refetches.
+        """
+        if not self.config.cache:
+            return
+        key = dirfh.encode()
+        if entry is not None:
+            self._neg_cache.pop((key, name), None)
+        else:
+            self._remember_negative(key, name)
+        cached = self._dir_cache.get(key)
+        if cached is None:
+            return
+        entries, _expiry, version = cached
+        new_version = tuple(dir_version) if dir_version is not None else None
+        contiguous = (new_version is not None and version is not None
+                      and new_version[0] == version[0]
+                      and new_version[1] == version[1] + 1)
+        if not contiguous:
+            self._dir_cache.pop(key, None)
+            return
+        entries = [e for e in entries if e["name"] != name]
+        if entry is not None:
+            entries.append(dict(entry))
+            entries.sort(key=lambda e: e["name"])
+        self._dir_cache[key] = (entries,
+                                self.kernel.now + self.config.attr_ttl_ms,
+                                new_version)
+        self.metrics.incr("agent.dir_cache_patched")
+
+    def _remember_negative(self, dirkey: str, name: str) -> None:
+        """Record a miss, keeping the map bounded — distinct missed names
+        are unbounded, live files are not.  Expired entries are swept
+        first; if everything is still live, the soonest-to-expire half is
+        evicted (a re-miss just re-asks the server)."""
+        now = self.kernel.now
+        if len(self._neg_cache) >= 512:
+            self._neg_cache = {k: exp for k, exp in self._neg_cache.items()
+                               if exp > now}
+            if len(self._neg_cache) >= 512:
+                by_expiry = sorted(self._neg_cache.items(),
+                                   key=lambda item: item[1])
+                self._neg_cache = dict(by_expiry[len(by_expiry) // 2:])
+        self._neg_cache[(dirkey, name)] = now + self.config.attr_ttl_ms
+
+    def _note_new_entry(self, dirfh: FileHandle, name: str, ftype: str,
+                        raw_fh: str, dir_version) -> None:
+        """Fold a successful create/mkdir/symlink/link into the caches."""
+        self._feed_dir_cache(dirfh, name,
+                             {"name": name, "type": ftype, "fh": raw_fh},
+                             dir_version)
 
     # ------------------------------------------------------------------ #
     # file operations
@@ -646,6 +761,8 @@ class Agent(Node):
         fh = FileHandle.decode(reply["fh"])
         if self.config.cache:
             self._handle_cache[dirpath.rstrip("/") + "/" + name] = fh
+        self._note_new_entry(dirfh, name, "reg", reply["fh"],
+                             reply.get("dir_version"))
         return fh
 
     async def mkdir(self, dirpath: str, name: str) -> FileHandle:
@@ -655,6 +772,8 @@ class Agent(Node):
         fh = FileHandle.decode(reply["fh"])
         if self.config.cache:
             self._handle_cache[dirpath.rstrip("/") + "/" + name] = fh
+        self._note_new_entry(dirfh, name, "dir", reply["fh"],
+                             reply.get("dir_version"))
         return fh
 
     async def symlink(self, dirpath: str, name: str, target: str) -> FileHandle:
@@ -662,6 +781,8 @@ class Agent(Node):
         dirfh = await self._resolve(dirpath)
         reply = await self._nfs("symlink", {"fh": dirfh.encode(), "name": name,
                                             "target": target})
+        self._note_new_entry(dirfh, name, "lnk", reply["fh"],
+                             reply.get("dir_version"))
         return FileHandle.decode(reply["fh"])
 
     async def readlink(self, path_or_fh: str | FileHandle) -> str:
@@ -687,48 +808,122 @@ class Agent(Node):
         """Unlink a file."""
         dirfh = await self._resolve(dirpath)
         target = self._handle_cache.get(dirpath.rstrip("/") + "/" + name)
-        await self._nfs("remove", {"fh": dirfh.encode(), "name": name})
+        reply = await self._nfs("remove", {"fh": dirfh.encode(), "name": name})
         self._prune_handle_cache(dirpath.rstrip("/") + "/" + name)
         if target is not None:
             self._invalidate(target)    # nlink/ctime changed (or file gone)
         self._invalidate(dirfh)
+        self._feed_dir_cache(dirfh, name, None, reply.get("dir_version"))
 
     async def rmdir(self, dirpath: str, name: str) -> None:
         """Remove an empty directory."""
         dirfh = await self._resolve(dirpath)
-        await self._nfs("rmdir", {"fh": dirfh.encode(), "name": name})
+        removed = self._handle_cache.get(dirpath.rstrip("/") + "/" + name)
+        reply = await self._nfs("rmdir", {"fh": dirfh.encode(), "name": name})
         self._prune_handle_cache(dirpath.rstrip("/") + "/" + name)
         self._invalidate(dirfh)
+        self._feed_dir_cache(dirfh, name, None, reply.get("dir_version"))
+        if removed is not None:
+            self._dir_cache.pop(removed.encode(), None)
 
     async def rename(self, fromdir: str, fromname: str,
                      todir: str, toname: str) -> None:
         """Move/rename a file (or a whole directory subtree)."""
         fromfh = await self._resolve(fromdir)
         tofh = await self._resolve(todir)
-        await self._nfs("rename", {"fh": fromfh.encode(), "fromname": fromname,
-                                   "tofh": tofh.encode(), "toname": toname})
+        reply = await self._nfs("rename",
+                                {"fh": fromfh.encode(), "fromname": fromname,
+                                 "tofh": tofh.encode(), "toname": toname})
         # prune descendants of BOTH names: old paths under a renamed
         # directory are dead, and a rename-over replaced the target
         self._prune_handle_cache(fromdir.rstrip("/") + "/" + fromname)
         self._prune_handle_cache(todir.rstrip("/") + "/" + toname)
         self._invalidate(fromfh)
         self._invalidate(tofh)
+        versions = reply.get("dir_versions") or {}
+        moved = reply.get("moved_entry")
+        # to-side first: a same-directory rename bumps the one directory
+        # twice (install sub+1, drop sub+2), so the patches only chain as
+        # contiguous in server order
+        if moved is not None and versions.get("to") is not None:
+            # the entry the SERVER says it installed — never this agent's
+            # own (possibly stale) cached listing of the source directory
+            self._feed_dir_cache(tofh, toname, {"name": toname, **moved},
+                                 versions["to"])
+        elif moved is None:
+            # fallback-path server reply: can't patch the target listing
+            self._dir_cache.pop(tofh.encode(), None)
+            self._neg_cache.pop((tofh.encode(), toname), None)
+        else:
+            # POSIX no-op rename (both names already link the same file):
+            # nothing changed server-side, the listings stay — but both
+            # names provably exist, so negative entries for them are wrong
+            self._neg_cache.pop((tofh.encode(), toname), None)
+            self._neg_cache.pop((fromfh.encode(), fromname), None)
+        if versions.get("from") is not None:
+            self._feed_dir_cache(fromfh, fromname, None, versions["from"])
+        elif versions.get("to") is not None or moved is None:
+            # the server abandoned (or didn't report) the from-side drop —
+            # e.g. a concurrent re-create owns the name now; a negative
+            # entry would assert a removal that may not have happened.
+            # (A no-op rename — both versions None WITH a moved entry —
+            # changed nothing, so the caches stay.)
+            self._dir_cache.pop(fromfh.encode(), None)
+            self._neg_cache.pop((fromfh.encode(), fromname), None)
 
     async def link(self, filepath: str, todir: str, name: str) -> None:
         """Create a hard link."""
         fh = await self._resolve(filepath)
         tofh = await self._resolve(todir)
-        await self._nfs("link", {"fh": fh.encode(), "tofh": tofh.encode(),
-                                 "name": name})
+        reply = await self._nfs("link", {"fh": fh.encode(),
+                                         "tofh": tofh.encode(),
+                                         "name": name})
         # the file's nlink/ctime and the directory's contents both changed;
         # without this, getattr serves a stale nlink until the TTL lapses
         self._invalidate(fh)
         self._invalidate(tofh)
+        if reply.get("entry_type") is not None:
+            # cache the entry as the server recorded it: its real type and
+            # the version-unqualified handle (keeping `home` — stripping it
+            # would make a foreign entry dispatch locally and mis-resolve)
+            self._note_new_entry(tofh, name, reply["entry_type"],
+                                 FileHandle(sid=fh.sid, home=fh.home).encode(),
+                                 reply.get("dir_version"))
+        else:
+            self._dir_cache.pop(tofh.encode(), None)
+            self._neg_cache.pop((tofh.encode(), name), None)
 
     async def readdir(self, path_or_fh: str | FileHandle) -> list[dict]:
-        """List a directory."""
+        """List a directory, served from the agent's readdir cache.
+
+        While the TTL is fresh the cached listing answers locally; once it
+        lapses the listing is *revalidated by version pair* instead of
+        refetched — the server answers "unchanged" with no entry bytes
+        when the directory is still at the cached version.  The cache is
+        kept coherent with this agent's own creates/removes/renames by the
+        dirop versions riding their replies (:meth:`_feed_dir_cache`).
+        """
         fh = await self._resolve(path_or_fh)
-        return (await self._nfs("readdir", {"fh": fh.encode()}))["entries"]
+        key = fh.encode()
+        cached = self._dir_cache.get(key) if self.config.cache else None
+        if cached and cached[1] > self.kernel.now:
+            self.metrics.incr("agent.dir_cache_hits")
+            return [dict(e) for e in cached[0]]
+        args: dict[str, Any] = {"fh": key}
+        if cached and cached[2] is not None and self.config.version_validate:
+            args["verify"] = list(cached[2])
+        reply = await self._nfs("readdir", args)
+        version = tuple(reply["version"]) if reply.get("version") else None
+        if reply.get("unchanged") and cached:
+            self.metrics.incr("agent.dir_cache_revalidations")
+            entries = cached[0]
+        else:
+            entries = reply["entries"]
+        if self.config.cache:
+            self._dir_cache[key] = (entries,
+                                    self.kernel.now + self.config.attr_ttl_ms,
+                                    version)
+        return [dict(e) for e in entries]
 
     # ------------------------------------------------------------------ #
     # Deceit special commands

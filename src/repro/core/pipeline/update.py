@@ -35,6 +35,14 @@ Invariants
   positioned writes) is still **one** update: one broadcast round, one
   ``sub`` bump, one persisted record per member — the agent-side analogue
   of the disk layer's group commit.
+- A ``dirop`` update's preconditions (name absent / expected handle /
+  emptiness seal, see :mod:`repro.core.dirtable`) are checked
+  **authoritatively at the token holder** against its settled replica,
+  under the update lock, *before* the broadcast: a violation raises
+  :class:`~repro.errors.DirOpConflict` without consuming a version bump,
+  and a distributed dirop therefore succeeds deterministically at every
+  member.  Namespace mutations of different names in one directory thus
+  commute — no whole-table version guard, no retry storm.
 - The ``length`` recorded in segment meta is derived by
   :meth:`~repro.core.segment.WriteOp.apply` from the bytes the update
   actually produced at application time, never trusted from the sender's
@@ -49,15 +57,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.dirtable import check_dirops, dirops_applied
 from repro.core.pipeline.catalog import CatalogService, group_of
 from repro.core.pipeline.store import ReplicaStore
 from repro.core.segment import WriteOp
 from repro.core.versions import VersionPair
-from repro.errors import RpcTimeout, VersionConflict
+from repro.errors import (
+    DirOpConflict,
+    ReplicaUnavailable,
+    RpcTimeout,
+    VersionConflict,
+)
 from repro.metrics import Metrics
 from repro.net.network import RpcRemoteError
 
 UPDATE_REPLY_TIMEOUT_MS = 400.0
+
+#: Sentinel distinct from "no reachable holder" (None): the forwarded
+#: dirop was recognized by the holder as an already-applied replay.
+_REPLAY = object()
 
 
 @dataclass
@@ -105,7 +123,7 @@ class UpdatePipeline:
                     guard: VersionPair | None = None,
                     version: int | None = None,
                     single_update_hint: bool = False,
-                    heat_addr: str | None = None) -> VersionPair:
+                    heat_addr: str | None = None) -> VersionPair | None:
         """Distribute one update through the write-token protocol.
 
         ``guard`` makes the write conditional on the segment still being at
@@ -117,17 +135,26 @@ class UpdatePipeline:
         is likely that there will be only one update" — e.g. a small file
         overwritten in one shot.  The token does not move.
 
-        Returns the segment's version pair after the update.
+        Returns the segment's version pair after the update — or ``None``
+        for a ``dirop`` recognized as an idempotent replay (the op's
+        effects were already applied by an earlier attempt whose reply was
+        lost): the mutation succeeded, but no version was *produced by
+        this call*, and reporting the current version instead would let a
+        client misattribute other writers' changes to its own op.
         """
         t0 = self.kernel.now
         cat = await self.catalog.ensure_group(sid)
         major = self.catalog.pick_major(cat, version)
+        ambiguous_forward = False
         if single_update_hint and (sid, major) not in self.store.tokens:
-            forwarded = await self._forward_single_write(sid, major, op, guard)
+            forwarded, ambiguous_forward = \
+                await self._forward_single_write(sid, major, op, guard)
+            if forwarded is _REPLAY:
+                return None
             if forwarded is not None:
                 return forwarded
         if (self.token_piggyback and (sid, major) not in self.store.tokens
-                and guard is None
+                and guard is None and op.kind != "dirop"
                 and (not cat.params.stability_notification
                      or cat.majors[major].unstable)):
             piggybacked = await self._write_via_piggyback(sid, major, op)
@@ -141,6 +168,13 @@ class UpdatePipeline:
             if guard is not None and token.version != guard:
                 self.metrics.incr("deceit.version_conflicts")
                 raise VersionConflict(guard, token.version)
+            if op.kind == "dirop" and \
+                    await self._validate_dirop(sid, major, token, op,
+                                               allow_replay=ambiguous_forward):
+                # idempotent replay (a forwarded dirop whose reply was
+                # lost): the postconditions already hold, no second update
+                # — and no version is reported as produced by this call
+                return None
             if cat.params.stability_notification and not cat.majors[major].unstable:
                 await self.hooks.mark_unstable(sid, major)
             new_version = token.version.next_update()
@@ -185,22 +219,81 @@ class UpdatePipeline:
             lock.release()
 
     # ------------------------------------------------------------------ #
+    # dirop precondition validation (the namespace path's §5.1 authority)
+    # ------------------------------------------------------------------ #
+
+    async def _validate_dirop(self, sid: str, major: int, token,
+                              op: WriteOp, allow_replay: bool = False) -> bool:
+        """Authoritative check of a dirop's preconditions at the holder.
+
+        The token holder always has a replica (a token pass fetches one
+        before acknowledging, §3.4), and under the per-segment update lock
+        that replica is current once the previous update's local delivery
+        lands — wait for its version to reach the token's, then evaluate
+        the preconditions against the real entry table.  A violation
+        raises :class:`~repro.errors.DirOpConflict` before any broadcast:
+        the caller pays zero rounds and zero version bumps for a rejected
+        namespace mutation.
+
+        Returns ``True`` when ``allow_replay`` is set (the caller's earlier
+        forward of this very op timed out ambiguously) and the op's
+        *post*conditions already hold — an idempotent replay; the write
+        then succeeds without distributing a second update.  Without that
+        license a satisfied postcondition is a competing client's work and
+        stays a conflict (two concurrent removes: one succeeds, one gets
+        ENOENT, never two successes).
+        """
+        replica = None
+        for _ in range(50):
+            replica = self.store.replicas.get((sid, major))
+            if replica is not None and replica.version == token.version:
+                break
+            await self.kernel.sleep(1.0)     # in-flight self-delivery
+        else:
+            raise ReplicaUnavailable(
+                f"{sid}: holder replica never settled at {token.version} "
+                f"for dirop validation")
+        try:
+            check_dirops(replica.data, replica.meta, op.dirops)
+        except DirOpConflict:
+            if allow_replay and \
+                    dirops_applied(replica.data, replica.meta, op.dirops):
+                self.metrics.incr("deceit.dirop_replays")
+                return True
+            self.metrics.incr("deceit.dirop_rejects")
+            raise
+        except Exception:
+            self.metrics.incr("deceit.dirop_rejects")
+            raise
+        self.metrics.incr("deceit.dirops")
+        return False
+
+    # ------------------------------------------------------------------ #
     # §3.3 optimization 2: forwarded single updates
     # ------------------------------------------------------------------ #
 
-    async def _forward_single_write(self, sid: str, major: int, op: WriteOp,
-                                    guard: VersionPair | None) -> VersionPair | None:
+    async def _forward_single_write(
+        self, sid: str, major: int, op: WriteOp,
+        guard: VersionPair | None,
+    ) -> tuple[VersionPair | None | object, bool]:
         """Hand the update to the current holder; the token does not move.
 
-        Returns the new version pair, or ``None`` when no reachable holder
-        exists (the caller falls back to the normal acquisition path).
+        Returns ``(result, ambiguous)``: the new version pair, ``_REPLAY``
+        for a holder-recognized replay, or ``None`` when the caller must
+        fall back to the normal acquisition path.  ``ambiguous`` is True
+        only when the forward *timed out after being sent* — the one case
+        where the holder may have applied the update without us learning
+        of it, which licenses the fallback's replay detection.  A
+        first-attempt dirop must never be judged a replay: a competing
+        client's identical outcome (same name removed, same seal) is not
+        this caller's own lost success.
         """
         cat = self.catalog.catalogs[sid]
         holder = cat.majors[major].holder
         me = self.transport.addr
         if holder is None or holder == me or \
                 not self.transport.reachable(me, holder):
-            return None
+            return None, False
         self.metrics.incr("deceit.forwarded_writes")
         try:
             raw = await self.transport.call(
@@ -214,10 +307,21 @@ class UpdatePipeline:
             if isinstance(exc, RpcRemoteError) and \
                     exc.error_type == "VersionConflict":
                 raise VersionConflict(guard, None) from exc
-            return None
+            if isinstance(exc, RpcRemoteError) and \
+                    exc.error_type == "DirOpConflict":
+                # the holder's authoritative precondition check rejected
+                # the dirop: surface the typed verdict, do not fall back
+                # to token acquisition
+                raise DirOpConflict.from_message(exc.remote_message) from exc
+            # a remote error means the holder ran and refused — not
+            # ambiguous; only a timeout after the send leaves the
+            # delivery status unknown
+            return None, isinstance(exc, RpcTimeout)
+        if raw["version"] is None:
+            return _REPLAY, False
         new_version = VersionPair.from_tuple(raw["version"])
         cat.majors[major].version = new_version
-        return new_version
+        return new_version, False
 
     async def handle_forward_write(self, src: str, sid: str, major: int,
                                    wop: dict, guard) -> dict:
@@ -226,7 +330,8 @@ class UpdatePipeline:
         new_version = await self.write(sid, WriteOp.from_dict(wop),
                                        guard=guard_vp, version=major,
                                        heat_addr=src)
-        return {"version": new_version.to_tuple()}
+        return {"version": None if new_version is None
+                else new_version.to_tuple()}
 
     # ------------------------------------------------------------------ #
     # §3.3 optimization 1: update piggybacked on the token request

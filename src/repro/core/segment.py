@@ -35,6 +35,11 @@ class WriteOp:
     - ``batch`` applies a list of sub-operations (``parts``) as one
       atomically-distributed update — how an agent's write-behind buffer
       flushes several coalesced positioned writes in a single version bump;
+    - ``dirop`` applies single-name directory mutations (``dirops``, see
+      :mod:`repro.core.dirtable`) to the entry table at update-application
+      time — the commuting namespace path: concurrent creates of different
+      names in one directory are two ordinary single-round updates instead
+      of whole-table version-guard conflicts;
     - any op may carry a ``meta`` patch, merged after the data transform —
       attribute changes (mtime with a write, uplink edits with a link) ride
       the same atomically-distributed update as the data they describe.
@@ -48,12 +53,14 @@ class WriteOp:
     """
 
     #: "replace" | "append" | "truncate" | "setdata" | "setmeta" | "batch"
+    #: | "dirop"
     kind: str
     offset: int = 0
     data: bytes = b""
     length: int = 0
     meta: dict[str, Any] = field(default_factory=dict)
     parts: list["WriteOp"] = field(default_factory=list)
+    dirops: list[dict] = field(default_factory=list)
 
     def apply(self, data: bytes, meta: dict[str, Any]) -> tuple[bytes, dict[str, Any]]:
         """Pure function: new (data, meta) after this operation."""
@@ -75,6 +82,9 @@ class WriteOp:
         elif self.kind == "batch":
             for part in self.parts:
                 data, meta = part.apply(data, meta)
+        elif self.kind == "dirop":
+            from repro.core.dirtable import apply_dirops
+            data = apply_dirops(data, self.dirops)
         elif self.kind != "setmeta":
             raise ValueError(f"unknown write op kind {self.kind!r}")
         if self.meta:
@@ -115,6 +125,10 @@ class WriteOp:
         if self.kind == "batch":
             for part in self.parts:
                 old_length = part.result_length(old_length)
+        # "dirop": the new table length depends on the current entries, so
+        # old_length is the best pure-arithmetic answer; the persisted
+        # length is derived at application and reply attrs for directory
+        # mutations never come from result_length.
         return old_length
 
     def to_dict(self) -> dict:
@@ -128,6 +142,8 @@ class WriteOp:
         }
         if self.parts:
             out["parts"] = [part.to_dict() for part in self.parts]
+        if self.dirops:
+            out["dirops"] = [dict(dop) for dop in self.dirops]
         return out
 
     @classmethod
@@ -140,6 +156,7 @@ class WriteOp:
             length=raw.get("length", 0),
             meta=raw.get("meta", {}),
             parts=[cls.from_dict(p) for p in raw.get("parts", [])],
+            dirops=[dict(dop) for dop in raw.get("dirops", [])],
         )
 
 

@@ -273,9 +273,10 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
     async def write(self, sid: str, op: WriteOp,
                     guard: VersionPair | None = None,
                     version: int | None = None,
-                    single_update_hint: bool = False) -> VersionPair:
+                    single_update_hint: bool = False) -> VersionPair | None:
         """Distribute one update through the write-token protocol (the
-        :class:`~repro.core.pipeline.update.UpdatePipeline` hot path)."""
+        :class:`~repro.core.pipeline.update.UpdatePipeline` hot path).
+        ``None`` only for a dirop recognized as an idempotent replay."""
         return await self.pipeline.write(sid, op, guard=guard, version=version,
                                          single_update_hint=single_update_hint)
 

@@ -77,6 +77,41 @@ class VersionConflict(SegmentError):
         self.actual = actual
 
 
+class DirOpConflict(SegmentError):
+    """A commuting directory operation's precondition failed (§5.1/§5.2).
+
+    Raised by the token holder's authoritative check before the update is
+    distributed — the namespace analogue of :class:`VersionConflict`, but
+    scoped to one *name* instead of the whole entry table.  ``reason`` is
+    one of :data:`REASONS`; the NFS envelope maps it to an nfsstat (or
+    re-reads and retries when the caller's expectation merely went stale).
+
+    The message format ``"dirop <reason> on ..."`` is a wire contract:
+    forwarded writes carry conflicts back as ``(type, str(exc))`` RPC
+    error tuples, and :meth:`from_message` rebuilds the typed exception
+    at the forwarder.
+    """
+
+    REASONS = frozenset(
+        {"exists", "absent", "changed", "notempty", "sealed", "notdir"})
+
+    def __init__(self, reason: str, name: str, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"dirop {reason} on {name!r}{suffix}")
+        self.reason = reason
+        self.name = name
+
+    @classmethod
+    def from_message(cls, message: str) -> "DirOpConflict":
+        """Inverse of ``str(exc)`` for RPC-carried conflicts.  An
+        unrecognized shape degrades to ``changed`` (retry-and-re-read),
+        the one reason that is always safe to act on."""
+        words = message.split()
+        reason = words[1] if (len(words) > 2 and words[0] == "dirop"
+                              and words[1] in cls.REASONS) else "changed"
+        return cls(reason, "<forwarded>", message)
+
+
 class WriteUnavailable(SegmentError):
     """No write token is held or obtainable under the file's availability
     level (§3.5: token disabled or generation inhibited)."""

@@ -5,27 +5,38 @@ Directories serialize their entry table as JSON in the segment data; file
 attributes live in segment metadata (see :mod:`repro.nfs.attrs`); symlink
 targets are the segment data.
 
-Directory updates use the optimistic version-pair transaction of §5.1: read
-the directory (obtaining its version pair), compute the new entry table,
-and write conditionally on that pair; a conflict restarts the whole
-operation.  "If a version pair conflict occurs, the whole operation is
-restarted."
+Directory mutations ship as **dirops** (:mod:`repro.core.dirtable`):
+single-name add/remove/replace operations, with expected-handle guards,
+applied to the entry table at update-application time on every replica.
+Two concurrent creates in one directory are two ordinary single-round
+updates that commute — no whole-table version guard, no retry storm on the
+hot root (§7 flags the root as the hottest file in the system).  The check
+half of every check-and-mutate (name exists?, handle unchanged?, directory
+empty?) runs *inside* the dirop guard at the write-token holder, closing
+the lost/leaked-file TOCTOU races the read-then-rewrite path had.
+
+The §5.1 optimistic version-pair transaction (read the directory, rewrite
+the whole table conditionally on its version pair, restart on conflict)
+survives in :meth:`Envelope._update_dir` — as the fallback for multi-entry
+mutations and as the measurable baseline (``use_dirops=False``).
 """
 
 from __future__ import annotations
 
-import json
 from typing import Any, Callable
 
 from repro.core import SegmentServer, WriteOp
+from repro.core.dirtable import decode_dir, encode_dir
 from repro.core.params import FileParams
 from repro.core.segment_server import ReadResult
 from repro.errors import (
+    DirOpConflict,
     NfsError,
     NfsStat,
     NoSuchSegment,
     ReplicaUnavailable,
     VersionConflict,
+    WriteUnavailable,
     nfs_error,
 )
 from repro.nfs.attrs import FileAttrs, FileType, sattr_to_meta
@@ -36,6 +47,8 @@ from repro.nfs.names import split_version, validate_name
 MAX_DIR_RETRIES = 16
 #: Reserved handle for the global root directory (§2.2) — not a segment.
 GLOBAL_ROOT_SID = "@global"
+
+DirVersion = tuple[int, int]
 
 
 def placement_hint(result: ReadResult) -> dict[str, Any] | None:
@@ -51,25 +64,27 @@ def placement_hint(result: ReadResult) -> dict[str, Any] | None:
     return {"holders": list(result.holders), "served_by": result.served_by}
 
 
-def encode_dir(entries: dict[str, dict[str, str]]) -> bytes:
-    """Serialize a directory entry table into segment data."""
-    return json.dumps({"entries": entries}, sort_keys=True).encode()
-
-
-def decode_dir(data: bytes) -> dict[str, dict[str, str]]:
-    """Inverse of :func:`encode_dir` (empty data = empty directory)."""
-    if not data:
-        return {}
-    return json.loads(data.decode())["entries"]
+# encode_dir / decode_dir live in repro.core.dirtable (the update pipeline
+# applies dirops to the same representation); re-exported here because the
+# envelope is their historical home and tests/tools import them from it.
+__all__ = ["Envelope", "GLOBAL_ROOT_SID", "decode_dir", "encode_dir",
+           "placement_hint"]
 
 
 class Envelope:
-    """One per server; translates NFS calls onto the local segment server."""
+    """One per server; translates NFS calls onto the local segment server.
 
-    def __init__(self, segments: SegmentServer):
+    ``use_dirops`` selects the namespace path: ``True`` (default) ships
+    every directory mutation as a commuting server-side dirop; ``False``
+    falls back to the whole-table optimistic transaction — kept as the
+    baseline the namespace benchmark measures against.
+    """
+
+    def __init__(self, segments: SegmentServer, use_dirops: bool = True):
         self.segments = segments
         self.kernel = segments.kernel
         self.metrics = segments.metrics
+        self.use_dirops = use_dirops
         self.root_fh: FileHandle | None = None
 
     def set_root(self, fh: FileHandle) -> None:
@@ -107,11 +122,51 @@ class Envelope:
             raise nfs_error(NfsStat.ERR_NOTDIR, fh.sid)
         return decode_dir(result.data), result
 
+    async def _dir_write(self, fh: FileHandle, dirops: list[dict],
+                         extra_meta: dict[str, Any] | None = None,
+                         ) -> DirVersion | None:
+        """One commuting directory mutation: a single dirop update.
+
+        No prior read, no version guard — preconditions travel inside the
+        dirop and are checked authoritatively at the write-token holder
+        (:meth:`~repro.core.pipeline.update.UpdatePipeline._validate_dirop`).
+        Returns the directory's post-op version pair, which rides NFS
+        replies so agents can keep their readdir caches version-exact.
+        Precondition violations (:class:`DirOpConflict`) propagate to the
+        caller, which maps or retries them per operation.
+
+        ``single_update_hint`` engages §3.3 optimization 2: a directory
+        mutation is the canonical "likely only one update", so when
+        another server holds the directory's token the dirop is *passed to
+        it* rather than yanking the token here.  Keeping the hot
+        directory's token put is what spares it the token ping-pong — and
+        the token-pass timeouts that would otherwise generate divergent
+        majors — under cross-server contention.
+        """
+        op = WriteOp(kind="dirop", dirops=dirops,
+                     meta={"mtime": self.kernel.now, **(extra_meta or {})})
+        try:
+            version = await self.segments.write(fh.sid, op, version=fh.version,
+                                                single_update_hint=True)
+        except NoSuchSegment as exc:
+            raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+        except (ReplicaUnavailable, WriteUnavailable) as exc:
+            raise nfs_error(NfsStat.ERR_IO, str(exc)) from exc
+        if version is None:
+            # idempotent replay: the mutation holds, but no version was
+            # produced by THIS call — callers must not report one
+            return None
+        return (version.major, version.sub)
+
     async def _update_dir(
         self, fh: FileHandle,
         mutate: Callable[[dict[str, dict[str, str]]], dict[str, dict[str, str]]],
     ) -> None:
-        """Optimistic directory transaction with restart on conflict."""
+        """Optimistic directory transaction with restart on conflict.
+
+        The §5.1 whole-table fallback: still the right tool for
+        *multi-entry* mutations (e.g. bootstrap installing several names at
+        once) and the baseline the dirop path is benchmarked against."""
         for _attempt in range(MAX_DIR_RETRIES):
             entries, result = await self._require_dir(fh)
             new_entries = mutate(dict(entries))
@@ -291,15 +346,18 @@ class Envelope:
 
     async def create(self, dirfh: FileHandle, name: str,
                      sattr: dict[str, Any] | None = None,
-                     params: FileParams | None = None) -> tuple[FileHandle, FileAttrs]:
-        """CREATE — new regular file; returns its handle and attributes."""
+                     params: FileParams | None = None,
+                     ) -> tuple[FileHandle, FileAttrs, DirVersion | None]:
+        """CREATE — new regular file; returns handle, attributes, and the
+        directory's post-op version pair (``None`` on the fallback path)."""
         self.metrics.incr("nfs.ops.create")
         return await self._create_node(dirfh, name, FileType.REGULAR,
                                        b"", sattr, params)
 
     async def mkdir(self, dirfh: FileHandle, name: str,
                     sattr: dict[str, Any] | None = None,
-                    params: FileParams | None = None) -> tuple[FileHandle, FileAttrs]:
+                    params: FileParams | None = None,
+                    ) -> tuple[FileHandle, FileAttrs, DirVersion | None]:
         """MKDIR — new directory (its own segment with an empty table)."""
         self.metrics.incr("nfs.ops.mkdir")
         sattr = dict(sattr or {})
@@ -307,8 +365,8 @@ class Envelope:
         return await self._create_node(dirfh, name, FileType.DIRECTORY,
                                        encode_dir({}), sattr, params)
 
-    async def symlink(self, dirfh: FileHandle, name: str,
-                      target: str) -> tuple[FileHandle, FileAttrs]:
+    async def symlink(self, dirfh: FileHandle, name: str, target: str,
+                      ) -> tuple[FileHandle, FileAttrs, DirVersion | None]:
         """SYMLINK — soft link; the target string is the segment data."""
         self.metrics.incr("nfs.ops.symlink")
         return await self._create_node(dirfh, name, FileType.SYMLINK,
@@ -324,7 +382,16 @@ class Envelope:
 
     async def _create_node(self, dirfh: FileHandle, name: str, ftype: FileType,
                            data: bytes, sattr: dict[str, Any] | None,
-                           params: FileParams | None) -> tuple[FileHandle, FileAttrs]:
+                           params: FileParams | None,
+                           ) -> tuple[FileHandle, FileAttrs, DirVersion | None]:
+        """Segment-create + **one** dirop add — two segment ops total.
+
+        The reply attributes are the meta this method just built (the
+        create distributed it verbatim), so no follow-up getattr round is
+        paid — the namespace analogue of the write path deriving reply
+        attrs from the write itself.  A rejected add (name exists, target
+        sealed by a concurrent rmdir) rolls the orphan segment back.
+        """
         validate_name(name)
         base, version = split_version(name)
         if version is not None:
@@ -340,6 +407,18 @@ class Envelope:
         sid = await self.segments.create(params=params, data=data, meta=meta)
         fh = FileHandle(sid=sid)
 
+        if self.use_dirops:
+            try:
+                dir_version = await self._dir_write(dirfh, [
+                    {"action": "add", "name": base,
+                     "entry": {"h": sid, "t": ftype.value}}])
+            except Exception as exc:
+                await self.segments.delete(sid)  # roll back the orphan
+                if isinstance(exc, DirOpConflict):
+                    raise self._map_dirop_conflict(exc, base) from exc
+                raise
+            return fh, FileAttrs.from_meta(meta, len(data)), dir_version
+
         def add_entry(entries: dict) -> dict:
             if base in entries:
                 raise nfs_error(NfsStat.ERR_EXIST, base)
@@ -348,16 +427,68 @@ class Envelope:
 
         try:
             await self._update_dir(dirfh, add_entry)
-        except NfsError:
+        except Exception:
             await self.segments.delete(sid)  # roll back the orphan segment
             raise
-        return fh, await self.getattr(fh)
+        return fh, await self.getattr(fh), None
 
-    async def remove(self, dirfh: FileHandle, name: str) -> None:
+    @staticmethod
+    def _map_dirop_conflict(exc: DirOpConflict, name: str) -> NfsError:
+        """Translate a dirop precondition failure into an nfsstat."""
+        status = {
+            "exists": NfsStat.ERR_EXIST,
+            "absent": NfsStat.ERR_NOENT,
+            "notempty": NfsStat.ERR_NOTEMPTY,
+            "notdir": NfsStat.ERR_NOTDIR,
+            # a sealed directory is mid-rmdir: to this caller it is gone
+            "sealed": NfsStat.ERR_NOENT,
+            # "changed" means the caller's expectation went stale — ops
+            # that can re-read and retry catch it before reaching here
+            "changed": NfsStat.ERR_IO,
+        }.get(exc.reason, NfsStat.ERR_IO)
+        return nfs_error(status, f"{name}: {exc}")
+
+    async def remove(self, dirfh: FileHandle, name: str) -> DirVersion | None:
         """REMOVE — unlink a file name; storage is garbage collected when
-        no version of any uplinked directory still references it (§5.2)."""
+        no version of any uplinked directory still references it (§5.2).
+
+        The dirop carries the handle the name resolved to as its
+        ``expect`` guard, so a racing rename-over can never make this
+        unlink the *new* file while the link decrement hits the *old* one:
+        a swapped entry rejects the dirop and the operation re-reads and
+        retargets.
+        """
         self.metrics.incr("nfs.ops.remove")
         base, _version = split_version(name)
+        if not self.use_dirops:
+            return await self._remove_whole_table(dirfh, base)
+        for _attempt in range(MAX_DIR_RETRIES):
+            entries, _result = await self._require_dir(dirfh)
+            entry = entries.get(base)
+            if entry is None:
+                raise nfs_error(NfsStat.ERR_NOENT, base)
+            if entry["t"] == FileType.DIRECTORY.value:
+                raise nfs_error(NfsStat.ERR_ISDIR, base)
+            try:
+                dir_version = await self._dir_write(dirfh, [
+                    {"action": "remove", "name": base, "expect": entry["h"]}])
+            except DirOpConflict as exc:
+                self.metrics.incr("nfs.dirop_conflicts")
+                if exc.reason == "absent":
+                    raise nfs_error(NfsStat.ERR_NOENT, base) from exc
+                # entry swapped under us: re-read and retarget (NFS REMOVE
+                # is remove-by-name).  First run the GC decision for the
+                # handle we *did* target: if our dirop actually applied but
+                # its reply was lost (ambiguous forward timeout), the old
+                # file is now unreferenced and must not leak its storage.
+                await collect_if_unreferenced(self, entry["h"])
+                continue
+            await self._decrement_link(FileHandle(sid=entry["h"]))
+            return dir_version
+        raise nfs_error(NfsStat.ERR_IO, f"remove contention on {base}")
+
+    async def _remove_whole_table(self, dirfh: FileHandle, base: str) -> None:
+        """Seed fallback: reads the target handle outside the transaction."""
         entries, _result = await self._require_dir(dirfh)
         entry = entries.get(base)
         if entry is None:
@@ -374,11 +505,73 @@ class Envelope:
 
         await self._update_dir(dirfh, drop_entry)
         await self._decrement_link(target)
+        return None
 
-    async def rmdir(self, dirfh: FileHandle, name: str) -> None:
-        """RMDIR — remove an *empty* directory."""
+    async def rmdir(self, dirfh: FileHandle, name: str) -> DirVersion | None:
+        """RMDIR — remove an *empty* directory.
+
+        Emptiness is not a separate read: the victim is **sealed** first
+        (a dirop whose precondition is an empty table; every later create
+        into it fails ``sealed``), then unlinked from the parent under an
+        expected-handle guard, then deallocated.  A create racing the old
+        check-then-drop window now either lands before the seal (rmdir
+        answers NOTEMPTY) or loses to it (the create fails cleanly and
+        rolls back) — never an orphaned child in a deleted directory.
+        """
         self.metrics.incr("nfs.ops.rmdir")
         base, _version = split_version(name)
+        if not self.use_dirops:
+            return await self._rmdir_whole_table(dirfh, base)
+        for _attempt in range(MAX_DIR_RETRIES):
+            entries, _result = await self._require_dir(dirfh)
+            entry = entries.get(base)
+            if entry is None:
+                raise nfs_error(NfsStat.ERR_NOENT, base)
+            if entry["t"] != FileType.DIRECTORY.value:
+                raise nfs_error(NfsStat.ERR_NOTDIR, base)
+            victim = FileHandle(sid=entry["h"])
+            try:
+                await self._dir_write(victim, [{"action": "seal"}])
+            except DirOpConflict as exc:
+                if exc.reason == "notempty":
+                    raise nfs_error(NfsStat.ERR_NOTEMPTY, base) from exc
+                if exc.reason != "sealed":
+                    raise self._map_dirop_conflict(exc, base) from exc
+                # already sealed: a seal only ever lands on an empty table
+                # and blocks every create after it, so the victim is still
+                # empty — proceed.  This is also the recovery path for a
+                # directory a crashed/failed rmdir left sealed-but-linked;
+                # a concurrent rmdir race is settled by the guarded parent
+                # remove below (one wins, the other re-reads to NOENT).
+            try:
+                dir_version = await self._dir_write(dirfh, [
+                    {"action": "remove", "name": base, "expect": entry["h"]}])
+            except DirOpConflict:
+                # the parent entry moved (concurrent rename of the victim):
+                # retreat — unseal so the directory is usable again — and
+                # restart from a fresh read
+                self.metrics.incr("nfs.dirop_conflicts")
+                await self._unseal_quietly(victim)
+                continue
+            except Exception:
+                # any other failure (unreachable replicas, timeout): the
+                # victim must not stay sealed-but-linked forever
+                await self._unseal_quietly(victim)
+                raise
+            await self.segments.delete(victim.sid)
+            return dir_version
+        raise nfs_error(NfsStat.ERR_IO, f"rmdir contention on {base}")
+
+    async def _unseal_quietly(self, victim: FileHandle) -> None:
+        """Best-effort seal rollback (the victim may already be deleted by
+        a winning concurrent rmdir, or momentarily unreachable)."""
+        try:
+            await self._dir_write(victim, [{"action": "unseal"}])
+        except (DirOpConflict, NfsError):
+            pass
+
+    async def _rmdir_whole_table(self, dirfh: FileHandle, base: str) -> None:
+        """Seed fallback: emptiness checked in a separate read."""
         entries, _result = await self._require_dir(dirfh)
         entry = entries.get(base)
         if entry is None:
@@ -398,21 +591,132 @@ class Envelope:
 
         await self._update_dir(dirfh, drop_entry)
         await self.segments.delete(victim.sid)
+        return None
 
     async def rename(self, fromdir: FileHandle, fromname: str,
-                     todir: FileHandle, toname: str) -> None:
+                     todir: FileHandle, toname: str,
+                     ) -> tuple[DirVersion | None, DirVersion | None,
+                                dict | None]:
         """RENAME — move a directory entry; updates the file's uplink list.
 
         §5.2 notes a move touches "two directories, a link count, and an
         uplink list ... in some safe order"; the order here is
         add-new-entry, update-uplinks, drop-old-entry, so a crash in the
         middle leaves the file reachable (possibly under both names) rather
-        than lost.
+        than lost.  Both table edits are dirops: the install is a
+        ``replace`` guarded on exactly what this rename saw at ``toname``
+        (a handle, or "must be absent"), so an overwritten target is
+        *known*, its link count is decremented, and its storage is
+        garbage-collected instead of leaking; the drop is guarded on the
+        moved handle, so a concurrent re-create of ``fromname`` is never
+        destroyed.  An install is rolled back if the moved segment turns
+        out to have died mid-rename (a racing remove's GC), so a dangling
+        entry is never left behind.
+
+        Returns the two directories' post-op version pairs (from-side
+        ``None`` = the old name was *not* dropped) and the entry actually
+        installed at ``toname`` — the authority agents feed their readdir
+        caches from.
         """
         self.metrics.incr("nfs.ops.rename")
         frombase, _v1 = split_version(fromname)
         tobase, _v2 = split_version(toname)
         validate_name(tobase)
+        if not self.use_dirops:
+            return await self._rename_whole_table(fromdir, frombase,
+                                                  todir, tobase)
+        if fromdir.sid == todir.sid and frombase == tobase:
+            # rename onto itself: POSIX says do nothing, successfully.
+            # No version is reported: this op produced none, and a current
+            # version another client produced must never feed an agent's
+            # "my op was the only change" cache patch
+            entries, result = await self._require_dir(fromdir)
+            entry = entries.get(frombase)
+            if entry is None:
+                raise nfs_error(NfsStat.ERR_NOENT, frombase)
+            return None, None, dict(entry)
+        for _attempt in range(MAX_DIR_RETRIES):
+            entries, from_result = await self._require_dir(fromdir)
+            entry = entries.get(frombase)
+            if entry is None:
+                raise nfs_error(NfsStat.ERR_NOENT, frombase)
+            if fromdir.sid == todir.sid:
+                to_entries, to_result = entries, from_result
+            else:
+                to_entries, to_result = await self._require_dir(todir)
+            existing = to_entries.get(tobase)
+            if existing is not None and existing["h"] == entry["h"]:
+                # both names already link the same file: POSIX rename is a
+                # no-op (dropping the old name here would shed a directory
+                # reference without its link decrement — a silent leak);
+                # None versions = nothing was dropped, nothing was produced
+                return None, None, dict(entry)
+            overwrites = existing is not None
+            if overwrites and existing["t"] == FileType.DIRECTORY.value:
+                raise nfs_error(NfsStat.ERR_EXIST, tobase)
+            try:
+                to_version = await self._dir_write(todir, [
+                    {"action": "replace", "name": tobase, "entry": dict(entry),
+                     "expect": existing["h"] if existing is not None else None}])
+            except DirOpConflict as exc:
+                self.metrics.incr("nfs.dirop_conflicts")
+                if exc.reason == "changed":
+                    continue    # toname changed between read and dirop
+                raise self._map_dirop_conflict(exc, tobase) from exc
+            target = FileHandle(sid=entry["h"])
+            try:
+                stat = await self._stat_segment(target)
+            except NfsError as exc:
+                # the moved segment died between our read and the install
+                # (a racing remove's GC, or an rmdir of the source): undo
+                # the install — a dangling entry must never survive
+                await self._undo_install(todir, tobase, entry["h"], existing)
+                raise nfs_error(NfsStat.ERR_NOENT, frombase) from exc
+            if fromdir.sid != todir.sid:
+                uplinks = list(stat.meta.get("uplinks", []))
+                if todir.sid not in uplinks:
+                    uplinks.append(todir.sid)
+                if fromdir.sid in uplinks:
+                    uplinks.remove(fromdir.sid)
+                await self._touch_meta(target, {"uplinks": uplinks})
+            try:
+                from_version = await self._dir_write(fromdir, [
+                    {"action": "remove", "name": frombase,
+                     "expect": entry["h"]}])
+            except DirOpConflict:
+                # fromname no longer maps to the moved handle (concurrent
+                # remove or re-create): the file is installed at toname,
+                # which is the half that must not be lost — leave fromname
+                # to whoever owns it now
+                from_version = None
+            if overwrites:
+                # the entry this rename displaced lost its last link from
+                # todir: correct its link-count hint and collect if
+                # nothing references it any more (the §5.2 GC contract)
+                await self._decrement_link(FileHandle(sid=existing["h"]))
+            return from_version, to_version, dict(entry)
+        raise nfs_error(NfsStat.ERR_IO, f"rename contention on {tobase}")
+
+    async def _undo_install(self, todir: FileHandle, tobase: str,
+                            installed_h: str, previous: dict | None) -> None:
+        """Best-effort rollback of a rename install: restore what the
+        replace displaced (or remove the new entry), guarded so a
+        concurrent re-bind of the name is left alone."""
+        if previous is not None:
+            undo = {"action": "replace", "name": tobase,
+                    "entry": dict(previous), "expect": installed_h}
+        else:
+            undo = {"action": "remove", "name": tobase, "expect": installed_h}
+        try:
+            await self._dir_write(todir, [undo])
+        except (DirOpConflict, NfsError):
+            pass
+
+    async def _rename_whole_table(self, fromdir: FileHandle, frombase: str,
+                                  todir: FileHandle, tobase: str,
+                                  ) -> tuple[None, None, None]:
+        """Seed fallback: silently replaces (and leaks) an overwritten
+        target; the dirop path above fixes that."""
         entries, _result = await self._require_dir(fromdir)
         entry = entries.get(frombase)
         if entry is None:
@@ -443,13 +747,16 @@ class Envelope:
             return dir_entries
 
         await self._update_dir(fromdir, drop_entry)
+        return None, None, None
 
-    async def link(self, fh: FileHandle, todir: FileHandle, name: str) -> None:
+    async def link(self, fh: FileHandle, todir: FileHandle,
+                   name: str) -> tuple[DirVersion | None, str]:
         """LINK — hard link: new entry + uplink record + link-count hint.
 
         "When a hard link is made to f in directory d, d is added to the
         uplink list of all versions of f which can be updated at that
-        time" (§5.2).
+        time" (§5.2).  Returns the directory's post-op version pair and
+        the entry type actually recorded (the agent cache's authority).
         """
         self.metrics.incr("nfs.ops.link")
         base, _version = split_version(name)
@@ -458,13 +765,24 @@ class Envelope:
         if stat.meta.get("ftype") == FileType.DIRECTORY.value:
             raise nfs_error(NfsStat.ERR_ISDIR, fh.sid)
 
-        def add_entry(dir_entries: dict) -> dict:
-            if base in dir_entries:
-                raise nfs_error(NfsStat.ERR_EXIST, base)
-            dir_entries[base] = {"h": fh.sid, "t": stat.meta.get("ftype", "reg")}
-            return dir_entries
+        if self.use_dirops:
+            try:
+                dir_version = await self._dir_write(todir, [
+                    {"action": "add", "name": base,
+                     "entry": {"h": fh.sid,
+                               "t": stat.meta.get("ftype", "reg")}}])
+            except DirOpConflict as exc:
+                raise self._map_dirop_conflict(exc, base) from exc
+        else:
+            def add_entry(dir_entries: dict) -> dict:
+                if base in dir_entries:
+                    raise nfs_error(NfsStat.ERR_EXIST, base)
+                dir_entries[base] = {"h": fh.sid,
+                                     "t": stat.meta.get("ftype", "reg")}
+                return dir_entries
 
-        await self._update_dir(todir, add_entry)
+            await self._update_dir(todir, add_entry)
+            dir_version = None
         uplinks = list(stat.meta.get("uplinks", []))
         if todir.sid not in uplinks:
             uplinks.append(todir.sid)
@@ -473,9 +791,20 @@ class Envelope:
             "nlink": stat.meta.get("nlink", 1) + 1,
             "ctime": self.kernel.now,
         })
+        return dir_version, stat.meta.get("ftype", "reg")
 
     async def _decrement_link(self, fh: FileHandle) -> None:
-        stat = await self._stat_segment(fh)
+        """Drop the link-count *hint* by one; a zero hint triggers the
+        authoritative §5.2 GC check (which corrects a wrong hint rather
+        than trusting it).  A segment that is already gone — a racing
+        unlink's GC beat us to it — is a completed outcome, not an error.
+        """
+        try:
+            stat = await self._stat_segment(fh)
+        except NfsError as exc:
+            if exc.status == NfsStat.ERR_STALE:
+                return
+            raise
         nlink = max(0, stat.meta.get("nlink", 1) - 1)
         await self._touch_meta(fh, {"nlink": nlink, "ctime": self.kernel.now})
         if nlink == 0:
@@ -483,14 +812,39 @@ class Envelope:
 
     async def readdir(self, dirfh: FileHandle) -> list[dict[str, str]]:
         """READDIR — entry names (unqualified) with types and handles."""
+        entries, _version = await self.readdir_result(dirfh)
+        return entries
+
+    async def readdir_result(
+        self, dirfh: FileHandle, verify=None,
+    ) -> tuple[list[dict[str, str]], DirVersion] | None:
+        """READDIR returning the listing **and** the directory's version
+        pair, with version-exact revalidation.
+
+        When ``verify`` (a cached version pair) is still current — decided
+        by the segment layer exactly as for data reads — returns ``None``:
+        the caller's cached listing is valid and no entry bytes move.
+        Otherwise returns ``(entries, version)`` so agents can cache the
+        listing version-exactly and keep it coherent from the dirop
+        versions riding mutation replies.
+        """
         self.metrics.incr("nfs.ops.readdir")
         if dirfh.sid == GLOBAL_ROOT_SID:
             # "It cannot be listed, as it implicitly contains the full
             # machine names of every accessible Deceit server." (§2.2)
             raise nfs_error(NfsStat.ERR_PERM, "the global root cannot be listed")
-        entries, _result = await self._require_dir(dirfh)
-        return [{"name": name, "type": e["t"], "fh": FileHandle(sid=e["h"]).encode()}
-                for name, e in sorted(entries.items())]
+        if verify is not None:
+            try:
+                if await self.segments.validate_version(dirfh.sid, verify,
+                                                        version=dirfh.version):
+                    return None
+            except NoSuchSegment as exc:
+                raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+        entries, result = await self._require_dir(dirfh)
+        listing = [{"name": name, "type": e["t"],
+                    "fh": FileHandle(sid=e["h"]).encode()}
+                   for name, e in sorted(entries.items())]
+        return listing, (result.major, result.version.sub)
 
     async def statfs(self, fh: FileHandle) -> dict[str, int]:
         """STATFS — synthetic filesystem totals (simulation-wide)."""

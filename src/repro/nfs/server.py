@@ -100,7 +100,7 @@ class DeceitServer:
         sid = await self.segments.create(params=root_params, data=data, meta=meta)
         root = FileHandle(sid=sid)
         self.envelope.set_root(root)
-        priv, _attrs = await self.envelope.mkdir(root, "priv")
+        priv, _attrs, _dirv = await self.envelope.mkdir(root, "priv")
         await self._add_global_entry(priv)
         return root
 
@@ -140,14 +140,31 @@ class DeceitServer:
 
         "The Cornell cell acts as a client to the MIT cell.  Mount and
         access restrictions are applied as with any client." (§2.2)
+
+        *Every* handle in the reply is re-stamped — the top-level ``fh``
+        and each ``entries[*].fh`` of a readdir listing.  Entry handles
+        used to pass through still local to the remote cell, so listing a
+        foreign directory returned handles that mis-resolved (or resolved
+        to the wrong segment) in the client's own cell.
         """
         self.metrics.incr("nfs.proxied")
         reply = await self.proc.call(home, "nfs", op=op, args=args,
                                      timeout=NFS_PROXY_TIMEOUT_MS, tag="nfs_proxy")
-        if reply.get("status") == 0 and "fh" in reply:
-            fh = FileHandle.decode(reply["fh"])
-            reply["fh"] = FileHandle(fh.sid, fh.version, home).encode()
+        if reply.get("status") == 0:
+            if "fh" in reply:
+                reply["fh"] = self._restamp(reply["fh"], home)
+            for entry in reply.get("entries", []):
+                if "fh" in entry:
+                    entry["fh"] = self._restamp(entry["fh"], home)
+            if "fh" in reply.get("moved_entry", {}):
+                reply["moved_entry"]["fh"] = self._restamp(
+                    reply["moved_entry"]["fh"], home)
         return reply
+
+    @staticmethod
+    def _restamp(raw_fh: str, home: str) -> str:
+        fh = FileHandle.decode(raw_fh)
+        return FileHandle(fh.sid, fh.version, home).encode()
 
     async def _dispatch_nfs(self, op: str, args: dict[str, Any],
                             fh: FileHandle | None) -> dict:
@@ -190,34 +207,75 @@ class DeceitServer:
             return {"status": 0, "attrs": attrs.to_wire(),
                     "version": list(version)}
         if op == "create":
-            out_fh, attrs = await env.create(fh, args["name"], args.get("sattr"))
-            return {"status": 0, "fh": out_fh.encode(), "attrs": attrs.to_wire()}
+            out_fh, attrs, dirv = await env.create(fh, args["name"],
+                                                   args.get("sattr"))
+            return self._with_dir_version(
+                {"status": 0, "fh": out_fh.encode(),
+                 "attrs": attrs.to_wire()}, dirv)
         if op == "mkdir":
-            out_fh, attrs = await env.mkdir(fh, args["name"], args.get("sattr"))
-            return {"status": 0, "fh": out_fh.encode(), "attrs": attrs.to_wire()}
+            out_fh, attrs, dirv = await env.mkdir(fh, args["name"],
+                                                  args.get("sattr"))
+            return self._with_dir_version(
+                {"status": 0, "fh": out_fh.encode(),
+                 "attrs": attrs.to_wire()}, dirv)
         if op == "symlink":
-            out_fh, attrs = await env.symlink(fh, args["name"], args["target"])
-            return {"status": 0, "fh": out_fh.encode(), "attrs": attrs.to_wire()}
+            out_fh, attrs, dirv = await env.symlink(fh, args["name"],
+                                                    args["target"])
+            return self._with_dir_version(
+                {"status": 0, "fh": out_fh.encode(),
+                 "attrs": attrs.to_wire()}, dirv)
         if op == "readlink":
             return {"status": 0, "target": await env.readlink(fh)}
         if op == "remove":
-            await env.remove(fh, args["name"])
-            return {"status": 0}
+            dirv = await env.remove(fh, args["name"])
+            return self._with_dir_version({"status": 0}, dirv)
         if op == "rmdir":
-            await env.rmdir(fh, args["name"])
-            return {"status": 0}
+            dirv = await env.rmdir(fh, args["name"])
+            return self._with_dir_version({"status": 0}, dirv)
         if op == "rename":
-            await env.rename(fh, args["fromname"],
-                             FileHandle.decode(args["tofh"]), args["toname"])
-            return {"status": 0}
+            from_v, to_v, moved = await env.rename(
+                fh, args["fromname"],
+                FileHandle.decode(args["tofh"]), args["toname"])
+            reply = {"status": 0}
+            if from_v is not None or to_v is not None:
+                reply["dir_versions"] = {
+                    "from": list(from_v) if from_v else None,
+                    "to": list(to_v) if to_v else None}
+            if moved is not None:
+                # the entry actually installed at toname — what agents
+                # feed their readdir caches with (never their own possibly
+                # stale listings)
+                reply["moved_entry"] = {
+                    "type": moved["t"],
+                    "fh": FileHandle(sid=moved["h"]).encode()}
+            return reply
         if op == "link":
-            await env.link(fh, FileHandle.decode(args["tofh"]), args["name"])
-            return {"status": 0}
+            dirv, entry_type = await env.link(
+                fh, FileHandle.decode(args["tofh"]), args["name"])
+            return self._with_dir_version(
+                {"status": 0, "entry_type": entry_type}, dirv)
         if op == "readdir":
-            return {"status": 0, "entries": await env.readdir(fh)}
+            out = await env.readdir_result(fh, verify=args.get("verify"))
+            if out is None:
+                # version-exact listing validation: the client's cached
+                # listing is current — no entry bytes move
+                self.metrics.incr("nfs.readdirs_unchanged")
+                return {"status": 0, "unchanged": True,
+                        "version": list(args["verify"])}
+            entries, version = out
+            return {"status": 0, "entries": entries,
+                    "version": list(version)}
         if op == "statfs":
             return {"status": 0, "statfs": await env.statfs(fh)}
         raise nfs_error(NfsStat.ERR_IO, f"unknown NFS op {op!r}")
+
+    @staticmethod
+    def _with_dir_version(reply: dict, dirv) -> dict:
+        """Piggyback the mutated directory's post-op version pair on a
+        namespace-mutation reply (feeds the agents' readdir caches)."""
+        if dirv is not None:
+            reply["dir_version"] = list(dirv)
+        return reply
 
     async def _lookup_global(self, name: str) -> dict:
         """Resolve a machine name under the global root (§2.2)."""

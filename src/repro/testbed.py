@@ -176,13 +176,16 @@ def build_cluster(
     cell: str = "",
     rebalance: bool = False,
     placement: PlacementConfig | None = None,
+    namespace_dirops: bool = True,
 ) -> Cluster:
     """Stand up a full Deceit cell with a bootstrapped namespace.
 
     Servers are ``s0`` … (prefixed with ``<cell>/`` when ``cell`` is set);
     agents are ``c0`` …, all mounted on server 0 initially (failover takes
     them elsewhere when enabled).  ``rebalance=True`` arms the placement
-    control loop on every server.
+    control loop on every server.  ``namespace_dirops=False`` drops every
+    envelope back to the seed's whole-table optimistic directory
+    transactions — the baseline the namespace benchmark measures against.
     """
     kernel = Kernel()
     metrics = Metrics()
@@ -190,13 +193,15 @@ def build_cluster(
                       seed=seed, metrics=metrics)
     cluster = _build_cell(kernel, network, metrics, n_servers, n_agents,
                           agent_config, fd_timeout_ms, cell,
-                          rebalance=rebalance, placement=placement)
+                          rebalance=rebalance, placement=placement,
+                          namespace_dirops=namespace_dirops)
     return cluster
 
 
 def _build_cell(kernel, network, metrics, n_servers, n_agents,
                 agent_config, fd_timeout_ms, cell,
-                rebalance=False, placement=None) -> Cluster:
+                rebalance=False, placement=None,
+                namespace_dirops=True) -> Cluster:
     prefix = f"{cell}." if cell else ""
     addrs = [f"{prefix}s{i}" for i in range(n_servers)]
     servers = [
@@ -206,6 +211,7 @@ def _build_cell(kernel, network, metrics, n_servers, n_agents,
         for rank, addr in enumerate(addrs)
     ]
     for server in servers:
+        server.envelope.use_dirops = namespace_dirops
         server.proc.set_cell_peers(addrs)
         server.start()
         if rebalance:
@@ -229,6 +235,7 @@ def build_cells(
     agent_config: AgentConfig | None = None,
     rebalance: bool = False,
     placement: PlacementConfig | None = None,
+    namespace_dirops: bool = True,
 ) -> dict[str, Cluster]:
     """Multiple independent cells on one wide-area network (§2.2, Figure 3).
 
@@ -245,5 +252,6 @@ def build_cells(
     for name, count in cells.items():
         out[name] = _build_cell(kernel, network, metrics, count,
                                 n_agents_per_cell, agent_config, 200.0, name,
-                                rebalance=rebalance, placement=placement)
+                                rebalance=rebalance, placement=placement,
+                                namespace_dirops=namespace_dirops)
     return out

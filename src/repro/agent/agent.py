@@ -6,6 +6,7 @@ from dataclasses import dataclass, replace as dc_replace
 from enum import Enum
 from typing import Any
 
+from repro.core.striping import split_range
 from repro.errors import NfsError, NfsStat, RpcTimeout, Unreachable, nfs_error
 from repro.net import Network, Node
 from repro.net.network import RpcRemoteError
@@ -62,6 +63,10 @@ class AgentConfig:
     #: level >= 1 acks when the flush returns — i.e. after the server has
     #: collected ``write_safety`` replica replies.
     write_behind: bool = False
+    #: Sequential readahead for striped files: when ranged reads walk the
+    #: file front to back, the next stripe is prefetched in the background
+    #: so a scan's next request is answered from agent memory.
+    readahead: bool = True
     #: How long a ``write_safety >= 1`` buffered write waits for peers to
     #: join its flush (group commit at the agent: concurrent writers to one
     #: handle coalesce into a single batched update).
@@ -92,6 +97,10 @@ class _WriteBuffer:
         #: best-known server-side size when buffering began (from the
         #: attr/data caches) — the base for locally-synthesized attrs
         self.base_size = 0
+        #: (stripe_size, size) captured while the attr cache still had it —
+        #: buffering evicts the cached attrs, but the flush needs to know
+        #: the file's stripe width to split the batch per stripe
+        self.stripe_hint: tuple[int, int] | None = None
 
     @property
     def dirty(self) -> bool:
@@ -140,6 +149,23 @@ class _WriteBuffer:
             out[off: off + len(buf)] = buf
         return bytes(out)
 
+    def overlay_range(self, base: bytes, offset: int, count: int) -> bytes:
+        """Read-your-writes for a *ranged* read: apply only the buffered
+        patches intersecting ``[offset, offset+count)`` over ``base``
+        (which is that range's server bytes) — no whole-file fetch."""
+        if self.whole is not None:
+            return self.whole[offset:offset + count]
+        out = bytearray(base)
+        for off, buf in self.patches:
+            lo = max(off, offset)
+            hi = min(off + len(buf), offset + count)
+            if lo >= hi:
+                continue
+            if hi - offset > len(out):
+                out.extend(b"\x00" * (hi - offset - len(out)))
+            out[lo - offset:hi - offset] = buf[lo - off:hi - off]
+        return bytes(out)
+
     def extent(self, base_size: int = 0) -> int:
         """File size implied by the buffer over a ``base_size`` file."""
         if self.whole is not None:
@@ -148,6 +174,18 @@ class _WriteBuffer:
             return base_size
         return max(base_size,
                    max(off + len(buf) for off, buf in self.patches))
+
+
+def _split_at_stripes(patches: list[tuple[int, bytes]],
+                      stripe_size: int) -> dict[int, list[tuple[int, bytes]]]:
+    """Group positioned writes by the stripe they fall in, cutting any
+    patch that crosses a stripe boundary at that boundary."""
+    groups: dict[int, list[tuple[int, bytes]]] = {}
+    for offset, data in patches:
+        for cut, take in split_range(offset, offset + len(data), stripe_size):
+            groups.setdefault(cut // stripe_size, []).append(
+                (cut, data[cut - offset:cut - offset + take]))
+    return groups
 
 
 class Agent(Node):
@@ -182,6 +220,15 @@ class Agent(Node):
         # sid -> replica holders, learned from read-reply placement hints
         # (preferred holder first)
         self._placement_cache: dict[str, list[str]] = {}
+        # fh-key -> (start, data, expiry): the last prefetched (or could-be
+        # -reused) range of a striped file — one entry per handle
+        self._range_cache: dict[str, tuple[int, bytes, float]] = {}
+        # fh-key -> next sequential offset (the readahead trigger)
+        self._seq_read: dict[str, int] = {}
+        # fh-key -> invalidation generation: an in-flight prefetch may only
+        # store its reply if no write invalidated the handle since it was
+        # spawned (else it would resurrect pre-write bytes)
+        self._cache_gen: dict[str, int] = {}
         # write-behind: fh-key -> buffer (+ the handle to flush it with)
         self._write_buffers: dict[str, _WriteBuffer] = {}
         self._wb_handles: dict[str, FileHandle] = {}
@@ -328,8 +375,11 @@ class Agent(Node):
                                          self.config.attr_ttl_ms)
 
     def _invalidate(self, fh: FileHandle) -> None:
-        self._attr_cache.pop(fh.encode(), None)
-        self._data_cache.pop(fh.encode(), None)
+        key = fh.encode()
+        self._attr_cache.pop(key, None)
+        self._data_cache.pop(key, None)
+        self._range_cache.pop(key, None)
+        self._cache_gen[key] = self._cache_gen.get(key, 0) + 1
 
     # ------------------------------------------------------------------ #
     # readdir / negative-lookup cache upkeep (fed by dirop results)
@@ -455,20 +505,26 @@ class Agent(Node):
             return cached[0]
         if self.config.cache:
             self.metrics.incr("agent.data_cache_misses")
-        args: dict[str, Any] = {"fh": key}
-        if cached and cached[2] is not None and self.config.version_validate:
-            args["verify"] = list(cached[2])
-        to = await self._route_target(fh)
-        reply = await self._nfs("read", args, to=to,
-                                on_target_fail=lambda t:
-                                self._forget_route(fh.sid))
-        self._learn_placement(fh, reply)
-        version = tuple(reply["version"]) if "version" in reply else None
-        if reply.get("unchanged") and cached:
-            self.metrics.incr("agent.data_cache_revalidations")
-            data = cached[0]
+        hint = self._stripe_hint(key)
+        if hint is not None and hint[1] > hint[0]:
+            # striped file: gather it in parallel, one ranged read per
+            # stripe, instead of shipping the whole image through one reply
+            data, version = await self._read_striped(key, *hint)
         else:
-            data = reply["data"]
+            args: dict[str, Any] = {"fh": key}
+            if cached and cached[2] is not None and self.config.version_validate:
+                args["verify"] = list(cached[2])
+            to = await self._route_target(fh)
+            reply = await self._nfs("read", args, to=to,
+                                    on_target_fail=lambda t:
+                                    self._forget_route(fh.sid))
+            self._learn_placement(fh, reply)
+            version = tuple(reply["version"]) if "version" in reply else None
+            if reply.get("unchanged") and cached:
+                self.metrics.incr("agent.data_cache_revalidations")
+                data = cached[0]
+            else:
+                data = reply["data"]
         if self.config.cache:
             self._data_cache[key] = (data, self.kernel.now +
                                      self.config.data_ttl_ms, version)
@@ -478,6 +534,200 @@ class Agent(Node):
             self.metrics.incr("agent.wb_read_your_writes")
             return buf.overlay(data)
         return data
+
+    # ------------------------------------------------------------------ #
+    # ranged reads, striped fan-out, and readahead
+    # ------------------------------------------------------------------ #
+
+    def _stripe_hint(self, key: str) -> tuple[int, int] | None:
+        """(stripe_size, size) when fresh cached attrs say the file is
+        striped — the piggybacked hint every attr-bearing reply carries."""
+        if not self.config.cache:
+            return None
+        cached = self._attr_cache.get(key)
+        if cached and cached[1] > self.kernel.now and cached[0].stripe_size:
+            return cached[0].stripe_size, cached[0].size
+        return None
+
+    async def _read_striped(self, key: str, stripe_size: int,
+                            size: int) -> tuple[bytes, tuple | None]:
+        """Whole-file read of a striped file: parallel per-stripe ranged
+        reads, reassembled by offset.
+
+        The hinted size may be stale, so while the last stripe comes back
+        full the tail is chased with further reads; a shrunken file simply
+        returns less.  Holes read as zeros (the server pads interior
+        ranges), so placing each piece at its own offset is exact.
+
+        Atomicity: every range reply carries the *parent's* version pair,
+        and every whole-image change (rewrite, restripe, conversion) bumps
+        it — so if the replies disagree, a flip landed mid-fan-out and the
+        reassembly would be a hybrid of old and new contents.  The read
+        then falls back to one whole-file RPC, whose server-side gather
+        resolves the map once.
+        """
+        self.metrics.incr("agent.striped_reads")
+
+        async def one(index: int) -> dict:
+            return await self._nfs("read", {"fh": key,
+                                            "offset": index * stripe_size,
+                                            "count": stripe_size})
+
+        count = max(1, -(-size // stripe_size))
+        tasks = [self.spawn(one(i), name=f"{self.addr}:fanout:{i}")
+                 for i in range(count)]
+        replies = list(await self.kernel.all_of(tasks))
+        # chase the tail only while the server-reported length says bytes
+        # exist past what we fetched (the file grew since the hint)
+        known = max([size] + [int(r.get("size", 0)) for r in replies])
+        while replies[-1]["data"] and len(replies[-1]["data"]) == stripe_size \
+                and len(replies) * stripe_size < known:
+            reply = await one(len(replies))
+            replies.append(reply)
+            known = max(known, int(reply.get("size", 0)))
+        self.metrics.incr("agent.striped_fanout_parts", len(replies))
+        versions = {tuple(r["version"]) for r in replies if "version" in r}
+        if len(versions) != 1:
+            self.metrics.incr("agent.striped_read_fallbacks")
+            reply = await self._nfs("read", {"fh": key})
+            return reply["data"], tuple(reply["version"])
+        end = 0
+        for i, reply in enumerate(replies):
+            if reply["data"]:
+                end = max(end, i * stripe_size + len(reply["data"]))
+        image = bytearray(end)
+        for i, reply in enumerate(replies):
+            piece = reply["data"]
+            image[i * stripe_size:i * stripe_size + len(piece)] = piece
+        return bytes(image), versions.pop()
+
+    async def read_at(self, path_or_fh: str | FileHandle, offset: int,
+                      count: int) -> bytes:
+        """Ranged read: ``count`` bytes from ``offset`` (fewer at EOF).
+
+        Striped files whose range spans several stripes fan the pieces out
+        in parallel; sequential scans arm the next-stripe readahead so the
+        following request is served from agent memory.  Buffered
+        write-behind bytes are visible (read-your-writes).
+        """
+        fh = await self._resolve(path_or_fh)
+        key = fh.encode()
+        self.metrics.incr("agent.range_reads")
+        if count <= 0:
+            return b""
+        buf = self._write_buffers.get(key)
+        if buf is not None and buf.dirty:
+            # read-your-writes without whole-file cost: a buffered image
+            # answers directly; buffered patches overlay the fetched range
+            self.metrics.incr("agent.wb_read_your_writes")
+            if buf.whole is not None:
+                return buf.whole[offset:offset + count]
+            base = await self._range_base(fh, key, offset, count)
+            return buf.overlay_range(base, offset, count)
+        return await self._range_base(fh, key, offset, count)
+
+    async def _range_base(self, fh: FileHandle, key: str, offset: int,
+                          count: int) -> bytes:
+        """The server's bytes for one range: agent caches, then the
+        readahead range cache, then RPC (fanned out across stripes)."""
+        cached = self._data_cache.get(key) if self.config.cache else None
+        if cached and cached[1] > self.kernel.now:
+            self.metrics.incr("agent.data_cache_hits")
+            return cached[0][offset:offset + count]
+        ra = self._range_cache.get(key)
+        if ra is not None and ra[2] > self.kernel.now and \
+                ra[0] <= offset and offset + count <= ra[0] + len(ra[1]):
+            self.metrics.incr("agent.readahead_hits")
+            data = ra[1][offset - ra[0]:offset - ra[0] + count]
+            self._note_sequential(fh, key, offset, count)
+            return data
+        hint = self._stripe_hint(key)
+        if hint is not None and \
+                offset // hint[0] != (offset + count - 1) // hint[0]:
+            data = await self._fanout_range(key, hint[0], offset, count)
+        else:
+            to = await self._route_target(fh)
+            reply = await self._nfs(
+                "read", {"fh": key, "offset": offset, "count": count},
+                to=to, on_target_fail=lambda t: self._forget_route(fh.sid))
+            self._learn_placement(fh, reply)
+            data = reply["data"]
+        self._note_sequential(fh, key, offset, count)
+        return data
+
+    async def _fanout_range(self, key: str, stripe_size: int, offset: int,
+                            count: int) -> bytes:
+        """A multi-stripe range read, one parallel piece per stripe.
+
+        Like :meth:`_read_striped`, disagreeing parent versions across the
+        replies mean a whole-image flip landed mid-fan-out; the range is
+        then re-read as one RPC so the server resolves the map once.
+        """
+        pieces = split_range(offset, offset + count, stripe_size)
+        self.metrics.incr("agent.striped_fanout_parts", len(pieces))
+
+        async def one(o: int, c: int) -> dict:
+            return await self._nfs("read", {"fh": key, "offset": o,
+                                            "count": c})
+
+        tasks = [self.spawn(one(o, c), name=f"{self.addr}:fanout-range")
+                 for o, c in pieces]
+        replies = await self.kernel.all_of(tasks)
+        versions = {tuple(r["version"]) for r in replies if "version" in r}
+        if len(versions) > 1:
+            self.metrics.incr("agent.striped_read_fallbacks")
+            reply = await self._nfs("read", {"fh": key, "offset": offset,
+                                             "count": count})
+            return reply["data"]
+        # interior short pieces were padded by the server (sparse holes);
+        # a short trailing piece is EOF — concatenation is exact
+        out = bytearray()
+        for (o, _c), reply in zip(pieces, replies):
+            part = reply["data"]
+            rel = o - offset
+            if part:
+                if rel > len(out):
+                    out.extend(b"\x00" * (rel - len(out)))
+                out[rel:rel + len(part)] = part
+        return bytes(out)
+
+    def _note_sequential(self, fh: FileHandle, key: str, offset: int,
+                         count: int) -> None:
+        """Track the scan position; a read continuing exactly where the
+        last one ended arms a background prefetch of the next stripe."""
+        # a scan starting at the beginning of the file counts as sequential
+        # from its first read
+        sequential = self._seq_read.get(key, 0) == offset
+        self._seq_read[key] = offset + count
+        if not sequential or not self.config.readahead:
+            return
+        hint = self._stripe_hint(key)
+        if hint is None:
+            return
+        next_off = offset + count
+        if next_off >= hint[1]:
+            return                       # the scan reached the hinted EOF
+        ra = self._range_cache.get(key)
+        if ra is not None and ra[2] > self.kernel.now and \
+                ra[0] <= next_off < ra[0] + len(ra[1]):
+            return                       # already prefetched past here
+        self.metrics.incr("agent.readahead_prefetches")
+        self.spawn(self._prefetch(key, next_off, hint[0]),
+                   name=f"{self.addr}:readahead")
+
+    async def _prefetch(self, key: str, offset: int, length: int) -> None:
+        gen = self._cache_gen.get(key, 0)
+        try:
+            reply = await self._nfs("read", {"fh": key, "offset": offset,
+                                             "count": length})
+        except NfsError:
+            return                       # readahead is strictly best-effort
+        if self._cache_gen.get(key, 0) != gen:
+            # a write invalidated this handle while the prefetch was in
+            # flight: storing the reply would resurrect pre-write bytes
+            return
+        self._range_cache[key] = (offset, reply["data"],
+                                  self.kernel.now + self.config.data_ttl_ms)
 
     async def _route_target(self, fh: FileHandle) -> str | None:
         """Where to aim a read: a hinted replica holder, the §5.3 shortcut
@@ -593,6 +843,9 @@ class Agent(Node):
         if buf is None:
             buf = self._write_buffers[key] = _WriteBuffer()
             self._wb_handles[key] = fh
+        hint = self._stripe_hint(key)
+        if hint is not None:
+            buf.stripe_hint = hint
         if not buf.dirty:
             # remember the pre-buffer size so synthesized attrs for
             # positioned writes don't report the file shrunk to the patch
@@ -658,20 +911,9 @@ class Agent(Node):
         n_ops = buf.buffered_ops
         buf.whole, buf.patches, buf.buffered_ops = None, [], 0
         fh = self._wb_handles[key]
-        if whole is not None:
-            args: dict[str, Any] = {"fh": key, "offset": 0, "data": whole,
-                                    "truncate": True}
-            size = len(whole)
-        elif len(patches) == 1:
-            args = {"fh": key, "offset": patches[0][0], "data": patches[0][1]}
-            size = len(patches[0][1])
-        else:
-            args = {"fh": key,
-                    "ops": [{"offset": off, "data": data}
-                            for off, data in patches]}
-            size = sum(len(data) for _off, data in patches)
         try:
-            reply = await self._nfs("write", args, size_bytes=max(256, size))
+            reply = await self._send_flush(key, whole, patches,
+                                           buf.stripe_hint)
         except NfsError as exc:
             buf.inflight = None
             if not had_waiters:
@@ -690,6 +932,48 @@ class Agent(Node):
         if not fut.done():
             fut.set_result(attrs)
         return fut
+
+    async def _send_flush(self, key: str, whole: bytes | None,
+                          patches: list[tuple[int, bytes]],
+                          stripe_hint: tuple[int, int] | None) -> dict:
+        """Ship one buffer's contents to the server(s).
+
+        A whole-file image goes as one truncating write.  Patches of a
+        *striped* file that fall in several stripes go as one write per
+        stripe, in parallel — each lands on its own stripe's write token,
+        so two agents flushing disjoint regions of one file never touch
+        the same token (and the flush's latency is the slowest stripe,
+        not the sum).  Everything else is the single batched write.
+        """
+        if whole is not None:
+            return await self._nfs("write",
+                                   {"fh": key, "offset": 0, "data": whole,
+                                    "truncate": True},
+                                   size_bytes=max(256, len(whole)))
+        groups = (_split_at_stripes(patches, stripe_hint[0])
+                  if stripe_hint is not None else {0: patches})
+        if len(groups) > 1:
+            self.metrics.incr("agent.wb_stripe_flushes", len(groups))
+            tasks = [self.spawn(self._write_rpc(key, plist),
+                                name=f"{self.addr}:wb-stripe")
+                     for _index, plist in sorted(groups.items())]
+            replies = await self.kernel.all_of(tasks)
+            # the largest reported size reflects the final extent; the
+            # per-group attrs only differ in what that group observed
+            return max(replies, key=lambda r: r["attrs"]["size"])
+        return await self._write_rpc(key, patches)
+
+    async def _write_rpc(self, key: str,
+                         patches: list[tuple[int, bytes]]) -> dict:
+        if len(patches) == 1:
+            args: dict[str, Any] = {"fh": key, "offset": patches[0][0],
+                                    "data": patches[0][1]}
+            size = len(patches[0][1])
+        else:
+            args = {"fh": key, "ops": [{"offset": off, "data": data}
+                                       for off, data in patches]}
+            size = sum(len(data) for _off, data in patches)
+        return await self._nfs("write", args, size_bytes=max(256, size))
 
     async def flush(self, path_or_fh: str | FileHandle | None = None) -> None:
         """Flush write-behind buffers — one handle's, or every dirty one.
@@ -934,6 +1218,9 @@ class Agent(Node):
         fh = await self._resolve(path_or_fh)
         reply = await self._cmd("setparam", {"fh": fh.encode(),
                                              "changes": changes})
+        # cached attrs may now lie about the file's shape (a stripe_size
+        # change restripes it in place; the striping hint rides attrs)
+        self._invalidate(fh)
         params = reply["params"]
         # keep the write-behind ack-point decision in step with the change
         self._params_cache[fh.sid] = (

@@ -52,6 +52,13 @@ class FileParams:
         parameter as listed in §4).
     write_availability:
         Token regeneration policy under failure/partition (§3.5).
+    stripe_size:
+        The sixth knob, post-paper (the §6.2 dispersion scenario at scale):
+        when set, a file whose contents exceed this many bytes is split
+        into fixed-size stripe segments — each an ordinary replicated
+        segment with its own write token, version history, and placement
+        heat (see :mod:`repro.core.striping`).  ``None`` (the default)
+        keeps the file a single blob segment whatever its size.
     """
 
     min_replicas: int = 1
@@ -59,12 +66,15 @@ class FileParams:
     stability_notification: bool = True
     file_migration: bool = False
     write_availability: Availability = Availability.MEDIUM
+    stripe_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
             raise ValueError("min_replicas must be >= 1")
         if self.write_safety < 0:
             raise ValueError("write_safety must be >= 0")
+        if self.stripe_size is not None and self.stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1 (or None)")
 
     def with_updates(self, **changes) -> "FileParams":
         """Copy with some fields changed (segments are updated via setparam)."""
@@ -80,6 +90,7 @@ class FileParams:
             "stability_notification": self.stability_notification,
             "file_migration": self.file_migration,
             "write_availability": self.write_availability.value,
+            "stripe_size": self.stripe_size,
         }
 
     @classmethod
@@ -91,6 +102,8 @@ class FileParams:
             stability_notification=raw["stability_notification"],
             file_migration=raw["file_migration"],
             write_availability=Availability(raw["write_availability"]),
+            # .get: records persisted before striping existed have no key
+            stripe_size=raw.get("stripe_size"),
         )
 
 

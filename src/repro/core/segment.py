@@ -40,6 +40,11 @@ class WriteOp:
       time — the commuting namespace path: concurrent creates of different
       names in one directory are two ordinary single-round updates instead
       of whole-table version-guard conflicts;
+    - ``stripe_extend`` merges a stripe-map extension (``stripe``: a
+      proposed length and sids for hole indexes, see :func:`repro.core.
+      striping.stripemap.merge_extend`) into the parent segment's meta —
+      commutative and idempotent, so concurrent writers growing a striped
+      file never clobber each other's extensions;
     - any op may carry a ``meta`` patch, merged after the data transform —
       attribute changes (mtime with a write, uplink edits with a link) ride
       the same atomically-distributed update as the data they describe.
@@ -53,7 +58,7 @@ class WriteOp:
     """
 
     #: "replace" | "append" | "truncate" | "setdata" | "setmeta" | "batch"
-    #: | "dirop"
+    #: | "dirop" | "stripe_extend"
     kind: str
     offset: int = 0
     data: bytes = b""
@@ -61,13 +66,17 @@ class WriteOp:
     meta: dict[str, Any] = field(default_factory=dict)
     parts: list["WriteOp"] = field(default_factory=list)
     dirops: list[dict] = field(default_factory=list)
+    stripe: dict[str, Any] = field(default_factory=dict)
 
     def apply(self, data: bytes, meta: dict[str, Any]) -> tuple[bytes, dict[str, Any]]:
         """Pure function: new (data, meta) after this operation."""
         if self.kind == "replace":
-            if self.offset > len(data):
-                data = data + b"\x00" * (self.offset - len(data))
-            data = data[: self.offset] + self.data + data[self.offset + len(self.data):]
+            # a zero-length write is a POSIX no-op: it must not extend the
+            # file to its offset (padding happens only ahead of real bytes)
+            if self.data:
+                if self.offset > len(data):
+                    data = data + b"\x00" * (self.offset - len(data))
+                data = data[: self.offset] + self.data + data[self.offset + len(self.data):]
         elif self.kind == "append":
             data = data + self.data
         elif self.kind == "truncate":
@@ -85,6 +94,9 @@ class WriteOp:
         elif self.kind == "dirop":
             from repro.core.dirtable import apply_dirops
             data = apply_dirops(data, self.dirops)
+        elif self.kind == "stripe_extend":
+            from repro.core.striping.stripemap import merge_extend
+            meta = merge_extend(meta, self.stripe)
         elif self.kind != "setmeta":
             raise ValueError(f"unknown write op kind {self.kind!r}")
         if self.meta:
@@ -101,7 +113,7 @@ class WriteOp:
 
     def touches_data(self) -> bool:
         """Whether this op (or any batched part) transforms the data."""
-        if self.kind == "setmeta":
+        if self.kind in ("setmeta", "stripe_extend"):
             return False
         if self.kind == "batch":
             return any(part.touches_data() for part in self.parts)
@@ -115,6 +127,8 @@ class WriteOp:
         of issuing a follow-up getattr.
         """
         if self.kind == "replace":
+            if not self.data:
+                return old_length  # zero-length writes are no-ops
             return max(old_length, self.offset + len(self.data))
         if self.kind == "append":
             return old_length + len(self.data)
@@ -144,6 +158,8 @@ class WriteOp:
             out["parts"] = [part.to_dict() for part in self.parts]
         if self.dirops:
             out["dirops"] = [dict(dop) for dop in self.dirops]
+        if self.stripe:
+            out["stripe"] = dict(self.stripe)
         return out
 
     @classmethod
@@ -157,6 +173,7 @@ class WriteOp:
             meta=raw.get("meta", {}),
             parts=[cls.from_dict(p) for p in raw.get("parts", [])],
             dirops=[dict(dop) for dop in raw.get("dirops", [])],
+            stripe=dict(raw.get("stripe", {})),
         )
 
 

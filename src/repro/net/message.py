@@ -42,3 +42,24 @@ class Message:
             f"Message(#{self.msg_id} {self.src}->{self.dst} "
             f"{self.kind.value}{'/' + self.tag if self.tag else ''})"
         )
+
+
+def payload_size(obj: Any) -> int:
+    """Estimated wire size of a payload, in bytes.
+
+    Recursively sums the real length of every bytes/str value plus a
+    small fixed charge per scalar — close enough that a 2 MB read reply
+    costs 2 MB on the simulated network while a stat reply stays small.
+    Used to size RPC *replies* honestly (requests already declare their
+    size at the call site) and to feed the ``net.bytes_moved`` counter.
+    """
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, dict):
+        return sum(payload_size(k) + payload_size(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(payload_size(v) for v in obj)
+    # ints, floats, bools, None, enums, and anything exotic
+    return 8

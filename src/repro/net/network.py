@@ -16,7 +16,7 @@ from typing import Any, Callable
 from repro.errors import RpcTimeout, Unreachable
 from repro.metrics import Metrics
 from repro.net.latency import ConstantLatency, LatencyModel
-from repro.net.message import Message, MsgKind
+from repro.net.message import Message, MsgKind, payload_size
 from repro.sim import Kernel, SimFuture, SimTimeoutError
 
 DEFAULT_RPC_TIMEOUT_MS = 200.0
@@ -129,6 +129,10 @@ class Network:
         if msg.tag:
             self.metrics.incr(f"net.msgs.tag.{msg.tag}")
         self.metrics.incr("net.bytes", msg.size_bytes)
+        # actual payload bytes, independent of the declared wire size — the
+        # honest bandwidth figure benchmarks report (a 2 MB read moves 2 MB
+        # here whatever the caller declared)
+        self.metrics.incr("net.bytes_moved", payload_size(msg.payload))
         if self.trace is not None:
             self.trace.append(msg)
         if self.drop_probability and self.rng.random() < self.drop_probability:
@@ -314,7 +318,12 @@ class Node:
             if self.epoch != epoch or not self.alive:
                 return  # crashed while serving: reply dies with us
         self.network.transmit(
-            Message(self.addr, msg.src, MsgKind.RPC_REPLY, reply, 256,
+            # replies are sized by their payload: a 2 MB read reply pays
+            # 2 MB of transfer latency, a stat reply the minimum — without
+            # this, bulk reads looked free and striping could not be
+            # measured honestly
+            Message(self.addr, msg.src, MsgKind.RPC_REPLY, reply,
+                    max(256, payload_size(reply)),
                     tag=payload["method"] + ".reply")
         )
 

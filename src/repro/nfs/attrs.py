@@ -25,7 +25,14 @@ class FileType(Enum):
 
 @dataclass
 class FileAttrs:
-    """The attribute block NFS clients see."""
+    """The attribute block NFS clients see.
+
+    ``stripe_size`` is the striping hint piggybacked for agents: set (to
+    the file's stripe width) exactly when the file is currently striped,
+    so an agent that just looked a file up already knows it can fan a
+    large read out across the stripes.  Derived from the stripe map, never
+    settable — it does not fold back into segment meta.
+    """
 
     ftype: FileType = FileType.REGULAR
     mode: int = 0o644
@@ -36,6 +43,7 @@ class FileAttrs:
     atime: float = 0.0
     mtime: float = 0.0
     ctime: float = 0.0
+    stripe_size: int | None = None
 
     def to_meta(self) -> dict[str, Any]:
         """Fold into segment metadata (size is derived, not stored)."""
@@ -53,6 +61,7 @@ class FileAttrs:
     @classmethod
     def from_meta(cls, meta: dict[str, Any], size: int) -> "FileAttrs":
         """Rebuild from segment metadata plus the live data length."""
+        stripes = meta.get("stripes")
         return cls(
             ftype=FileType(meta.get("ftype", "reg")),
             mode=meta.get("mode", 0o644),
@@ -63,18 +72,23 @@ class FileAttrs:
             atime=meta.get("atime", 0.0),
             mtime=meta.get("mtime", 0.0),
             ctime=meta.get("ctime", 0.0),
+            stripe_size=int(stripes["stripe_size"]) if stripes else None,
         )
 
     def to_wire(self) -> dict[str, Any]:
-        """RPC payload form (includes size)."""
+        """RPC payload form (includes size and the striping hint)."""
         wire = self.to_meta()
         wire["size"] = self.size
+        if self.stripe_size is not None:
+            wire["stripe_size"] = self.stripe_size
         return wire
 
     @classmethod
     def from_wire(cls, raw: dict[str, Any]) -> "FileAttrs":
         """Inverse of :meth:`to_wire`."""
-        return cls.from_meta(raw, raw["size"])
+        attrs = cls.from_meta(raw, raw["size"])
+        attrs.stripe_size = raw.get("stripe_size")
+        return attrs
 
 
 def sattr_to_meta(sattr: dict[str, Any]) -> dict[str, Any]:

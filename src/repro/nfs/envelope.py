@@ -29,6 +29,7 @@ from repro.core import SegmentServer, WriteOp
 from repro.core.dirtable import decode_dir, encode_dir
 from repro.core.params import FileParams
 from repro.core.segment_server import ReadResult
+from repro.core.striping import StripeMap, Striper, file_length
 from repro.errors import (
     DirOpConflict,
     NfsError,
@@ -85,6 +86,7 @@ class Envelope:
         self.kernel = segments.kernel
         self.metrics = segments.metrics
         self.use_dirops = use_dirops
+        self.striper = Striper(segments, metrics=self.metrics)
         self.root_fh: FileHandle | None = None
 
     def set_root(self, fh: FileHandle) -> None:
@@ -113,7 +115,9 @@ class Envelope:
 
     @staticmethod
     def _attrs_of(result: ReadResult, size: int | None = None) -> FileAttrs:
-        length = size if size is not None else result.meta.get("length", 0)
+        # a striped file's logical length lives in its stripe map, not in
+        # the parent's (empty) data — file_length reads whichever applies
+        length = size if size is not None else file_length(result.meta)
         return FileAttrs.from_meta(result.meta, length)
 
     async def _require_dir(self, fh: FileHandle) -> tuple[dict, ReadResult]:
@@ -200,18 +204,41 @@ class Envelope:
         return self._attrs_of(result)
 
     async def setattr(self, fh: FileHandle, sattr: dict[str, Any]) -> FileAttrs:
-        """SETATTR — mode/owner/times via setmeta; size via truncate."""
+        """SETATTR — mode/owner/times via setmeta; size via truncate (routed
+        through the stripe map when the file is striped)."""
         self.metrics.incr("nfs.ops.setattr")
         patch = sattr_to_meta(sattr)
         patch["ctime"] = self.kernel.now
         if "size" in sattr:
             size = int(sattr["size"])
-            await self.segments.write(
-                fh.sid,
-                WriteOp(kind="truncate", length=size,
-                        meta={**patch, "length": size, "mtime": self.kernel.now}),
-                version=fh.version,
-            )
+            stat = await self._stat_segment(fh)
+            smap = StripeMap.from_meta(stat.meta)
+            patch["mtime"] = self.kernel.now
+            threshold = stat.params.stripe_size
+            if smap is not None or (threshold is not None and size > threshold
+                                    and stat.meta.get("ftype")
+                                    == FileType.REGULAR.value):
+                try:
+                    if smap is not None:
+                        await self.striper.truncate(fh, stat, smap, size,
+                                                    patch)
+                    else:
+                        # growth past the threshold converts, exactly like
+                        # the write path — the tail becomes a sparse hole
+                        await self.striper.truncate_grow_convert(
+                            fh, stat, size, patch)
+                except NoSuchSegment as exc:
+                    raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+                except (ReplicaUnavailable, WriteUnavailable,
+                        VersionConflict) as exc:
+                    raise nfs_error(NfsStat.ERR_IO, str(exc)) from exc
+            else:
+                await self.segments.write(
+                    fh.sid,
+                    WriteOp(kind="truncate", length=size,
+                            meta={**patch, "length": size}),
+                    version=fh.version,
+                )
         else:
             await self._touch_meta(fh, patch)
         return await self.getattr(fh)
@@ -240,11 +267,28 @@ class Envelope:
     async def read_result(self, fh: FileHandle, offset: int = 0,
                           count: int | None = None) -> ReadResult:
         """READ returning the full :class:`ReadResult` (data **and** the
-        version pair), so callers can do version-exact cache validation."""
+        version pair), so callers can do version-exact cache validation.
+
+        A striped file's parent read returns the map, not bytes; the
+        requested range is then gathered from the affected stripes in
+        parallel (each possibly served by a different holder server).
+        The result carries the *parent's* version pair — range mutations
+        deliberately do not bump it, so striped reads trade version-exact
+        revalidation for commuting writes (see :meth:`read_validate`).
+        """
         self.metrics.incr("nfs.ops.read")
         result = await self._read_segment_range(fh, offset, count)
         if result.meta.get("ftype") == FileType.DIRECTORY.value:
             raise nfs_error(NfsStat.ERR_ISDIR, fh.sid)
+        smap = StripeMap.from_meta(result.meta)
+        if smap is not None:
+            try:
+                result.data = await self.striper.read_range(smap, offset,
+                                                            count)
+            except NoSuchSegment as exc:
+                raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+            except ReplicaUnavailable as exc:
+                raise nfs_error(NfsStat.ERR_IO, str(exc)) from exc
         return result
 
     async def _read_segment_range(self, fh: FileHandle, offset: int,
@@ -268,15 +312,32 @@ class Envelope:
         weakens a file's configured consistency.  An unchanged answer moves
         no payload bytes and charges no disk read; a stale ``verify`` (or
         an unstable file) falls through to :meth:`read_result`.
+
+        Striped files never take the shortcut: stripe writes do not bump
+        the parent's version pair (that is what lets disjoint writers
+        commute), so an unchanged *parent* does not prove unchanged
+        *contents* — the gather must run.
         """
         try:
             if await self.segments.validate_version(fh.sid, verify,
-                                                    version=fh.version):
+                                                    version=fh.version) \
+                    and not self._striped_locally(fh.sid):
                 self.metrics.incr("nfs.ops.read")
                 return None
         except NoSuchSegment as exc:
             raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
         return await self.read_result(fh, offset, count)
+
+    def _striped_locally(self, sid: str) -> bool:
+        """Whether any local replica of ``sid`` carries a stripe map.
+
+        Only consulted after ``validate_version`` answered True — which
+        requires a local replica — so the in-memory peek is authoritative
+        for the version the shortcut would have served.
+        """
+        return any(replica.meta.get("stripes")
+                   for (rsid, _major), replica
+                   in self.segments.store.replicas.items() if rsid == sid)
 
     async def write(self, fh: FileHandle, offset: int, data: bytes,
                     truncate: bool = False,
@@ -309,12 +370,34 @@ class Envelope:
         The persisted ``length`` is derived inside update application
         (:meth:`~repro.core.segment.WriteOp.apply`), so it can never be
         poisoned by a truncate racing this write's pre-write stat.
+
+        Striped routing: a file already carrying a stripe map, or one this
+        write pushes past its ``stripe_size`` parameter, goes through the
+        :class:`~repro.core.striping.striper.Striper` instead — per-stripe
+        updates for ranges, an atomic whole-image install for rewrites and
+        the blob→striped conversion.  A zero-length plain write is a POSIX
+        no-op answered from the stat alone (no update, no version bump).
         """
         self.metrics.incr("nfs.ops.write")
         stat = await self._stat_segment(fh)
         if stat.meta.get("ftype") == FileType.DIRECTORY.value:
             raise nfs_error(NfsStat.ERR_ISDIR, fh.sid)
         patch = {"mtime": self.kernel.now}
+        if not truncate and not ops and not data:
+            return (self._attrs_of(stat),
+                    (stat.major, stat.version.sub))
+        smap = StripeMap.from_meta(stat.meta)
+        if smap is not None or self._crosses_stripe_threshold(
+                stat, offset, data, truncate, ops):
+            try:
+                reply_meta, new_length, version = await self.striper.write(
+                    fh, stat, offset, data, truncate, ops, patch)
+            except NoSuchSegment as exc:
+                raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+            except (ReplicaUnavailable, WriteUnavailable) as exc:
+                raise nfs_error(NfsStat.ERR_IO, str(exc)) from exc
+            return (FileAttrs.from_meta(reply_meta, new_length),
+                    (version.major, version.sub))
         if truncate:
             op = WriteOp(kind="setdata", data=data, meta=patch)
         elif ops is not None:
@@ -343,6 +426,37 @@ class Envelope:
             reply_meta = {**stat.meta, **patch, "length": new_length}
         attrs = FileAttrs.from_meta(reply_meta, new_length)
         return attrs, (version.major, version.sub)
+
+    @staticmethod
+    def _crosses_stripe_threshold(stat: ReadResult, offset: int, data: bytes,
+                                  truncate: bool,
+                                  ops: list[dict] | None) -> bool:
+        """Whether this write pushes a blob file past its ``stripe_size``
+        parameter (the in-place conversion trigger)."""
+        threshold = stat.params.stripe_size
+        if threshold is None or \
+                stat.meta.get("ftype") != FileType.REGULAR.value:
+            return False
+        current = file_length(stat.meta)
+        if truncate:
+            projected = len(data)
+        elif ops is not None:
+            projected = max([current] + [int(o["offset"]) + len(o["data"])
+                                         for o in ops if o["data"]])
+        else:
+            projected = max(current, offset + len(data))
+        return projected > threshold
+
+    async def restripe(self, fh: FileHandle) -> None:
+        """Reshape a file to match its current ``stripe_size`` parameter —
+        the ``setparam`` hook, mirroring how a raised replica level
+        triggers replica generation (§4)."""
+        try:
+            await self.striper.restripe(fh)
+        except NoSuchSegment as exc:
+            raise nfs_error(NfsStat.ERR_STALE, str(exc)) from exc
+        except (ReplicaUnavailable, WriteUnavailable) as exc:
+            raise nfs_error(NfsStat.ERR_IO, str(exc)) from exc
 
     async def create(self, dirfh: FileHandle, name: str,
                      sattr: dict[str, Any] | None = None,

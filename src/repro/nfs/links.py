@@ -59,7 +59,23 @@ async def collect_if_unreferenced(envelope, file_sid: str) -> bool:
     except (NoSuchSegment, ReplicaUnavailable):
         return False  # cannot prove unreachability: never collect blindly
     if live == 0:
+        # a striped file's bytes live in its stripe segments — they die
+        # with the parent, or they would leak unreachable storage forever.
+        # The map is re-read HERE, after the reference scan: a stripe
+        # allocated while the scan ran must not escape the collection.
+        try:
+            stat = await envelope.segments.stat(file_sid)
+        except (NoSuchSegment, ReplicaUnavailable):
+            return False  # gone (or unprovable) under us: nothing to do
+        stripe_sids = [sid for sid
+                       in (stat.meta.get("stripes") or {}).get("sids", [])
+                       if sid is not None]
         await envelope.segments.delete(file_sid)
+        for sid in stripe_sids:
+            try:
+                await envelope.segments.delete(sid)
+            except (NoSuchSegment, ReplicaUnavailable):
+                pass  # already retired (or unreachable; audit reclaims)
         envelope.metrics.incr("nfs.gc_collected")
         return True
     from repro.core import WriteOp

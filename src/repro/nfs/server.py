@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.core import SegmentServer
 from repro.core.params import FileParams
+from repro.core.striping import file_length
 from repro.errors import NfsError, NfsStat, nfs_error
 from repro.isis import IsisProcess
 from repro.metrics import Metrics
@@ -195,7 +196,11 @@ class DeceitServer:
                 result = await env.read_result(fh, args.get("offset", 0),
                                                args.get("count"))
             reply = {"status": 0, "data": result.data,
-                     "version": [result.major, result.version.sub]}
+                     "version": [result.major, result.version.sub],
+                     # current file length: lets a fan-out client know when
+                     # its range reads already cover the file (no wasted
+                     # chase past an exactly-stripe-aligned EOF)
+                     "size": file_length(result.meta)}
             hint = placement_hint(result)
             if hint is not None:
                 reply["placement"] = hint
@@ -311,7 +316,12 @@ class DeceitServer:
         seg = self.segments
         fh = FileHandle.decode(args["fh"]) if "fh" in args else None
         if cmd == "setparam":
-            params = await seg.setparam(fh.sid, **args["changes"])
+            changes = args["changes"]
+            params = await seg.setparam(fh.sid, **changes)
+            if "stripe_size" in changes:
+                # reshape to match, like a raised replica level triggers
+                # replica generation — atomic for concurrent readers
+                await self.envelope.restripe(fh)
             return {"status": 0, "params": params.to_dict()}
         if cmd == "getparam":
             result = await seg.stat(fh.sid, version=fh.version)

@@ -16,6 +16,7 @@ from repro.workloads.generator import (
     WorkloadConfig,
     WorkloadGenerator,
     hotspot_config,
+    streaming_config,
     zipf_weights,
 )
 from repro.workloads.replay import ReplayStats, replay
@@ -29,5 +30,6 @@ __all__ = [
     "WorkloadGenerator",
     "hotspot_config",
     "replay",
+    "streaming_config",
     "zipf_weights",
 ]

@@ -8,7 +8,8 @@ from enum import Enum
 
 
 class OpKind(Enum):
-    """Client-visible operations, matching the paper's op-mix list."""
+    """Client-visible operations, matching the paper's op-mix list (plus
+    the two *ranged* kinds the large-file streaming mix uses)."""
 
     GETATTR = "getattr"
     LOOKUP = "lookup"
@@ -17,17 +18,23 @@ class OpKind(Enum):
     CREATE = "create"
     REMOVE = "remove"
     READDIR = "readdir"
+    #: sequential chunked scan over a large file (one op per chunk)
+    READ_RANGE = "read_range"
+    #: positioned write of one chunk at a random offset
+    WRITE_RANGE = "write_range"
 
 
 @dataclass(frozen=True)
 class Op:
-    """One trace entry: which client touches which file, how, and when."""
+    """One trace entry: which client touches which file, how, and when.
+    ``offset`` only matters for the ranged kinds."""
 
     at_ms: float
     client: int
     kind: OpKind
     path: str
     size: int = 0
+    offset: int = 0
 
 
 @dataclass
@@ -72,6 +79,8 @@ class WorkloadConfig:
     file_zipf_s: float | None = None
     burst_length: int = 4             # rewrites per write burst
     write_share_collision_prob: float = 0.01  # concurrent writes are rare
+    #: chunk size for the ranged kinds (scan steps and range writes)
+    range_chunk_bytes: int = 64 * 1024
     seed: int = 0
 
 
@@ -102,6 +111,38 @@ def hotspot_config(**overrides) -> WorkloadConfig:
             OpKind.CREATE: 0.02,
             OpKind.REMOVE: 0.01,
             OpKind.READDIR: 0.02,
+        },
+    )
+    base.update(overrides)
+    return WorkloadConfig(**base)
+
+
+def streaming_config(**overrides) -> WorkloadConfig:
+    """A large-file streaming mix: sequential scans plus random range
+    writes over a small population of multi-megabyte files.
+
+    Models the §6.2 data-collection-and-dispersion regime the striping
+    layer exists for — captures scanned front to back in chunks while
+    analysis jobs rewrite regions in place — as opposed to §2.3's
+    whole-small-file baseline.  Pair it with
+    ``replay(..., file_params={"stripe_size": ...})`` so the population is
+    striped.  Keyword overrides replace any :class:`WorkloadConfig` field.
+    """
+    base: dict = dict(
+        n_dirs=2,
+        files_per_dir=3,
+        median_file_bytes=1024 * 1024,
+        max_file_bytes=2 * 1024 * 1024,
+        range_chunk_bytes=256 * 1024,
+        mean_interarrival_ms=150.0,
+        duration_ms=20_000.0,
+        op_mix={
+            OpKind.GETATTR: 0.10,
+            OpKind.LOOKUP: 0.05,
+            OpKind.READ_RANGE: 0.45,
+            OpKind.WRITE_RANGE: 0.30,
+            OpKind.READ: 0.05,
+            OpKind.WRITE: 0.05,
         },
     )
     base.update(overrides)
@@ -188,6 +229,21 @@ class WorkloadGenerator:
                                   profile.path, profile.size))
                     burst_t += self.rng.uniform(5.0, 50.0)
                 t = burst_t
+            elif kind is OpKind.READ_RANGE:
+                # a sequential scan: the whole file front to back in chunks
+                pos, scan_t = 0, t
+                while pos < profile.size:
+                    take = min(cfg.range_chunk_bytes, profile.size - pos)
+                    ops.append(Op(scan_t, client, kind, profile.path,
+                                  take, offset=pos))
+                    pos += take
+                    scan_t += self.rng.uniform(1.0, 10.0)
+                t = scan_t
+            elif kind is OpKind.WRITE_RANGE:
+                take = min(cfg.range_chunk_bytes, profile.size)
+                limit = max(1, profile.size - take + 1)
+                ops.append(Op(t, client, kind, profile.path, take,
+                              offset=self.rng.randrange(limit)))
             elif kind is OpKind.READDIR:
                 dirpath = profile.path.rsplit("/", 1)[0]
                 ops.append(Op(t, client, kind, dirpath))

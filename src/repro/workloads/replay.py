@@ -55,7 +55,11 @@ async def _ensure_population(agents, ops: list[Op],
         else:
             dirs.add(op.path.rsplit("/", 1)[0])
             if op.kind is not OpKind.REMOVE:
-                files.setdefault(op.path, op.size)
+                # ranged ops address [offset, offset+size): the file must
+                # be created large enough to cover their furthest extent
+                extent = op.offset + op.size if op.kind in (
+                    OpKind.READ_RANGE, OpKind.WRITE_RANGE) else op.size
+                files[op.path] = max(files.get(op.path, 0), extent)
     for dirpath in sorted(dirs):
         if dirpath in ("", "/"):
             continue
@@ -82,8 +86,12 @@ async def _run_op(agent, op: Op) -> None:
         await agent.lookup_path(op.path)
     elif op.kind is OpKind.READ:
         await agent.read_file(op.path)
+    elif op.kind is OpKind.READ_RANGE:
+        await agent.read_at(op.path, op.offset, max(1, op.size))
     elif op.kind is OpKind.WRITE:
         await agent.write_file(op.path, b"w" * max(64, op.size))
+    elif op.kind is OpKind.WRITE_RANGE:
+        await agent.write_at(op.path, op.offset, b"r" * max(1, op.size))
     elif op.kind is OpKind.CREATE:
         parent, _slash, name = op.path.rpartition("/")
         await agent.create(parent or "/", name)

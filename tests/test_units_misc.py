@@ -145,8 +145,13 @@ def test_writeop_dict_roundtrip():
 @settings(max_examples=100, deadline=None)
 def test_writeop_replace_length_invariant(base, patch, offset):
     data, _m = WriteOp(kind="replace", offset=offset, data=patch).apply(base, {})
-    assert len(data) == max(len(base), offset + len(patch))
-    assert data[offset:offset + len(patch)] == patch
+    if not patch:
+        # POSIX: a zero-length write changes nothing — in particular it
+        # must not zero-extend the file out to its offset
+        assert data == base
+    else:
+        assert len(data) == max(len(base), offset + len(patch))
+        assert data[offset:offset + len(patch)] == patch
 
 
 # ---- conflict log -------------------------------------------------------- #

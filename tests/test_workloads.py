@@ -12,6 +12,7 @@ from repro.workloads import (
     WorkloadGenerator,
     hotspot_config,
     replay,
+    streaming_config,
     zipf_weights,
 )
 
@@ -134,3 +135,41 @@ def test_replay_small_trace_end_to_end():
     assert stats.attempted == len(ops)
     assert stats.availability > 0.95
     assert stats.latency.count > 0
+
+
+def test_streaming_config_mixes_scans_and_range_writes():
+    cfg = streaming_config(duration_ms=30_000.0, seed=8)
+    ops = WorkloadGenerator(cfg).generate()
+    kinds = {op.kind for op in ops}
+    assert OpKind.READ_RANGE in kinds and OpKind.WRITE_RANGE in kinds
+    # scan chunks land on chunk-aligned offsets (sequential walks)
+    for op in ops:
+        if op.kind is OpKind.READ_RANGE and op.offset > 0:
+            assert op.offset % cfg.range_chunk_bytes == 0
+    # files are large-file-regime, far past the §2.3 small-file cap
+    gen = WorkloadGenerator(cfg)
+    assert max(f.size for f in gen.files) > 20 * 1024
+
+
+def test_streaming_replay_over_striped_population():
+    """The §6.2 streaming scenario end to end: scans + range writes over a
+    striped population (scaled down so the sim stays quick)."""
+    cluster = build_cluster(n_servers=4, n_agents=2,
+                            agent_config=AgentConfig(cache=True))
+    cfg = streaming_config(n_clients=2, n_dirs=1, files_per_dir=2,
+                           duration_ms=3_000.0, mean_interarrival_ms=150.0,
+                           median_file_bytes=8 * 1024,
+                           max_file_bytes=16 * 1024,
+                           range_chunk_bytes=2 * 1024, seed=9)
+    ops = WorkloadGenerator(cfg).generate()
+
+    async def main():
+        return await replay(cluster, ops,
+                            file_params={"stripe_size": 4 * 1024})
+
+    stats = cluster.run(main(), limit=4_000_000.0)
+    assert stats.availability > 0.95
+    # the population really was striped and the scans went through the map
+    assert cluster.metrics.get("striping.conversions") > 0
+    assert cluster.metrics.get("striping.range_reads") > 0
+    cluster.close()

@@ -7,6 +7,7 @@ unavailable for reading, but file updates become more expensive" (§1).
 
 from repro.core import FileParams, WriteOp
 from repro.errors import ReplicaUnavailable
+from repro.net import NetConfig
 from repro.testbed import build_core_cluster
 from benchmarks.conftest import run_once
 
@@ -15,7 +16,7 @@ UPDATES = 10
 
 
 def _probe(r: int) -> dict:
-    cluster = build_core_cluster(6, seed=100 + r)
+    cluster = build_core_cluster(6, seed=100 + r, net_config=NetConfig(tag_metrics=True))
     s0, s5 = cluster.servers[0], cluster.servers[5]
 
     async def run():

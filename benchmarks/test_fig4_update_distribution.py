@@ -7,6 +7,7 @@ cost must grow with r and stay flat in N.
 """
 
 from repro.core import FileParams, WriteOp
+from repro.net import NetConfig
 from repro.testbed import build_core_cluster
 from benchmarks.conftest import run_once
 
@@ -14,7 +15,7 @@ UPDATES = 15
 
 
 def _msgs_per_update(n_servers: int, r: int) -> float:
-    cluster = build_core_cluster(n_servers, seed=41)
+    cluster = build_core_cluster(n_servers, seed=41, net_config=NetConfig(tag_metrics=True))
     server = cluster.servers[0]
 
     async def run():

@@ -8,6 +8,7 @@ expand to.
 """
 
 from repro.agent import AgentConfig
+from repro.net import NetConfig
 from repro.testbed import build_cluster
 from benchmarks.conftest import run_once
 
@@ -19,7 +20,8 @@ def test_fig6_layering(benchmark, report):
 
     def scenario():
         cluster = build_cluster(n_servers=3, n_agents=1,
-                                agent_config=AgentConfig(cache=False))
+                                agent_config=AgentConfig(cache=False),
+                                net_config=NetConfig(tag_metrics=True))
         agent = cluster.agents[0]
         m = cluster.metrics
 

@@ -8,6 +8,7 @@ follows the quiet period (§3.3–§3.4).
 """
 
 from repro.core import FileParams, WriteOp
+from repro.net import NetConfig
 from repro.testbed import build_core_cluster
 from benchmarks.conftest import run_once
 
@@ -18,7 +19,7 @@ def test_tab1_update_sequence(benchmark, report):
     results = {}
 
     def scenario():
-        cluster = build_core_cluster(3, seed=7)
+        cluster = build_core_cluster(3, seed=7, net_config=NetConfig(tag_metrics=True))
         s0, s1 = cluster.servers[0], cluster.servers[1]
         m = cluster.metrics
 
@@ -86,7 +87,7 @@ def test_tab1_update_sequence(benchmark, report):
 
 
 def _head_msgs(piggyback: bool, forward: bool) -> float:
-    cluster = build_core_cluster(3, seed=8)
+    cluster = build_core_cluster(3, seed=8, net_config=NetConfig(tag_metrics=True))
     for server in cluster.servers:
         server.token_piggyback = piggyback
     s0, s1 = cluster.servers[0], cluster.servers[1]

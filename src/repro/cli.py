@@ -1,15 +1,26 @@
-"""Console entry point: run the quickstart demo (``repro`` on the CLI).
+"""Console entry point (``repro`` on the CLI).
 
-Mirrors ``examples/quickstart.py`` — a three-server Deceit cell that
-creates a file, tunes its per-file semantics (§4), crashes the connected
-server, and keeps working through client failover — packaged as an
-installable command so ``pip install -e . && repro`` gives a working tour
-without cloning the examples directory.
+Two subcommands:
+
+- ``repro`` / ``repro quickstart`` — the tour.  Mirrors
+  ``examples/quickstart.py``: a three-server Deceit cell that creates a
+  file, tunes its per-file semantics (§4), crashes the connected server,
+  and keeps working through client failover.
+- ``repro profile`` — the perf-work loop.  Runs a named workload
+  (``hotspot`` / ``baseline`` / ``streaming``) on a scale-profile cell
+  under :mod:`cProfile` and prints the top hotspots, so "what is the
+  simulator spending its time on at N servers?" is one command instead
+  of a scratch script.
 """
 
 from __future__ import annotations
 
-from repro.testbed import build_cluster
+import argparse
+import cProfile
+import pstats
+import time
+
+from repro.testbed import build_cluster, build_scale_cluster
 
 
 def quickstart() -> bytes:
@@ -54,8 +65,73 @@ def quickstart() -> bytes:
     return result
 
 
-def main() -> None:
+def profile(workload: str = "hotspot", n_servers: int = 16,
+            n_agents: int = 8, duration_ms: float = 5_000.0, seed: int = 42,
+            top: int = 20, sort: str = "cumulative") -> pstats.Stats:
+    """Profile one seeded workload replay; print the ``top`` hotspots.
+
+    The workload is generated up front and the cell is built *outside*
+    the profiled region, so the numbers are the steady-state simulation
+    cost — the thing the kernel/network fast paths optimize — not
+    cluster construction.
+    """
+    from repro.workloads import (WorkloadConfig, WorkloadGenerator,
+                                 hotspot_config, streaming_config)
+    from repro.workloads.replay import replay
+
+    factory = {"hotspot": hotspot_config, "baseline": WorkloadConfig,
+               "streaming": streaming_config}[workload]
+    cfg = factory(n_clients=n_agents, duration_ms=duration_ms, seed=seed)
+    ops = WorkloadGenerator(cfg).generate()
+    cluster = build_scale_cluster(n_servers=n_servers, n_agents=n_agents,
+                                  seed=seed)
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    stats = cluster.run(replay(cluster, ops), limit=10_000_000.0)
+    profiler.disable()
+    wall = time.perf_counter() - t0
+    events = cluster.kernel.events_processed
+    print(f"{workload} workload on {n_servers} servers / {n_agents} agents: "
+          f"{stats.attempted} ops ({stats.succeeded} ok) in {wall:.2f}s wall "
+          f"— {stats.attempted / wall:.0f} ops/s, "
+          f"{events / wall:,.0f} events/s, "
+          f"p50 {stats.latency.percentile(50):.1f} ms virtual")
+    ps = pstats.Stats(profiler)
+    ps.sort_stats(sort).print_stats(top)
+    cluster.close()
+    return ps
+
+
+def main(argv: list[str] | None = None) -> None:
     """``repro`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Deceit reproduction: demos and tooling.")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("quickstart", help="run the guided tour (the default)")
+    prof = sub.add_parser(
+        "profile", help="cProfile a seeded workload on a scale-profile cell")
+    prof.add_argument("--workload", default="hotspot",
+                      choices=["hotspot", "baseline", "streaming"],
+                      help="named workload mix (default: hotspot)")
+    prof.add_argument("--servers", type=int, default=16,
+                      help="cell size (default: 16)")
+    prof.add_argument("--agents", type=int, default=8,
+                      help="client agents (default: 8)")
+    prof.add_argument("--duration-ms", type=float, default=5_000.0,
+                      help="virtual workload duration (default: 5000)")
+    prof.add_argument("--seed", type=int, default=42)
+    prof.add_argument("--top", type=int, default=20,
+                      help="hotspot rows to print (default: 20)")
+    prof.add_argument("--sort", default="cumulative",
+                      choices=["cumulative", "tottime", "ncalls"],
+                      help="pstats sort key (default: cumulative)")
+    args = parser.parse_args(argv)
+    if args.command == "profile":
+        profile(workload=args.workload, n_servers=args.servers,
+                n_agents=args.agents, duration_ms=args.duration_ms,
+                seed=args.seed, top=args.top, sort=args.sort)
+        return
     data = quickstart()
     assert data == b"Deceit quickstart\n"
     print("quickstart OK")

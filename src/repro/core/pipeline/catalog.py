@@ -89,12 +89,27 @@ class CatalogService:
     # ------------------------------------------------------------------ #
 
     async def ensure_group(self, sid: str) -> SegmentCatalog:
-        """Be (or become) a member of the segment's file group."""
+        """Be (or become) a member of the segment's file group.
+
+        Segment ids embed their creating server (``<addr>.<counter>``), so
+        the join tries that server as a location hint first — it created
+        the group and nearly always still belongs to it.  Only when the
+        hint fails (creator crashed or was evicted) does the join fall
+        back to the §3.2 global search, which asks every cell peer.
+        """
         group = group_of(sid)
         if self.membership.is_member(group) and sid in self.catalogs:
             return self.catalogs[sid]
         try:
-            await self.membership.join_group(group)
+            creator = sid.rsplit(".", 1)[0]
+            if creator != self.membership.addr:
+                try:
+                    await self.membership.join_group(group, contact=creator)
+                except Exception:
+                    # stale hint: locate a live member the expensive way
+                    await self.membership.join_group(group)
+            else:
+                await self.membership.join_group(group)
         except GroupNotFound:
             if self.store.disk_majors(sid):
                 # sole survivor: resurrect the group from our disk state

@@ -47,13 +47,15 @@ class RecoveryService:
     """Recovery / reconciliation half of the segment layer."""
 
     def __init__(self, proc, catalog: CatalogService, store: ReplicaStore,
-                 server, metrics: Metrics | None = None):
+                 server, metrics: Metrics | None = None,
+                 audit_interval_ms: float = MERGE_AUDIT_INTERVAL_MS):
         self.proc = proc
         self.kernel = proc.kernel
         self.catalog = catalog
         self.store = store
         self.server = server
         self.metrics = metrics or store.metrics
+        self.audit_interval_ms = audit_interval_ms
         self._merging = False
 
     # ------------------------------------------------------------------ #
@@ -249,8 +251,13 @@ class RecoveryService:
         transitions, but a member *falsely expelled* during a message-loss
         burst sees no such transition — only a periodic check against its
         supposed co-members notices the newer view that excludes it.
+
+        Each tick probes every cell peer about every hosted group — O(n²)
+        RPCs cell-wide per interval — so large cells stretch the interval
+        (see :func:`repro.testbed.build_scale_cluster`); heals caught by
+        the failure detector still trigger a merge immediately.
         """
-        self.kernel.schedule(MERGE_AUDIT_INTERVAL_MS, self._merge_audit_tick)
+        self.kernel.schedule(self.audit_interval_ms, self._merge_audit_tick)
 
     def _merge_audit_tick(self) -> None:
         if not self.proc.alive:
@@ -258,7 +265,7 @@ class RecoveryService:
         if not self._merging and self.catalog.catalogs:
             self.proc.spawn(self.merge_after_heal(),
                             name=f"{self.proc.addr}:merge_audit")
-        self.kernel.schedule(MERGE_AUDIT_INTERVAL_MS, self._merge_audit_tick)
+        self.kernel.schedule(self.audit_interval_ms, self._merge_audit_tick)
 
     async def merge_after_heal(self) -> None:
         """Re-merge file groups split by a partition (§3.6 "Partition").

@@ -65,7 +65,8 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
 
     def __init__(self, proc: IsisProcess, disk: Disk, rank: int,
                  metrics: Metrics | None = None,
-                 placement_config: PlacementConfig | None = None):
+                 placement_config: PlacementConfig | None = None,
+                 merge_audit_interval_ms: float | None = None):
         self.proc = proc
         self.kernel = proc.kernel
         self.disk = disk
@@ -105,8 +106,13 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
             self.metrics,
             heat=self.heat,
         )
-        self.recovery = RecoveryService(proc, self.cat, self.store,
-                                        self, self.metrics)
+        if merge_audit_interval_ms is None:
+            self.recovery = RecoveryService(proc, self.cat, self.store,
+                                            self, self.metrics)
+        else:
+            self.recovery = RecoveryService(
+                proc, self.cat, self.store, self, self.metrics,
+                audit_interval_ms=merge_audit_interval_ms)
         proc.set_app(self)
         proc.register_handler("seg_read", self.reads.handle_read)
         proc.register_handler("seg_stat", self.reads.handle_stat)

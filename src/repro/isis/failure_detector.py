@@ -82,15 +82,18 @@ class FailureDetector:
     def _tick(self) -> None:
         if not self._running or not self.node.alive:
             return
-        for peer in self.peers:
-            self.node.send(
-                peer,
-                {"type": "heartbeat", "epoch": self.node.epoch},
-                size_bytes=32,
-                tag="heartbeat",
-            )
+        # one shared payload for the whole burst (receivers only read it);
+        # the multicast path sizes and counts the burst once instead of
+        # walking an identical dict per peer — the all-pairs heartbeat
+        # traffic is O(n²) per interval and dominates large cells
+        self.node.multicast(
+            self.peers,
+            {"type": "heartbeat", "epoch": self.node.epoch},
+            size_bytes=32,
+            tag="heartbeat",
+        )
         self._check()
-        self.kernel.schedule(self.interval_ms, self._tick)
+        self.kernel.post(self.interval_ms, self._tick)
 
     def _check(self) -> None:
         now = self.kernel.now
@@ -110,11 +113,12 @@ class FailureDetector:
         groups rather than resume — callers read :attr:`peer_epochs`.
         """
         src = msg.src
-        if src not in self.last_heard and src not in self.peers:
+        last = self.last_heard
+        if src not in last and src not in self.peers:
             return
-        self.last_heard[src] = self.kernel.now
+        last[src] = self.kernel.now
         payload = msg.payload
-        if isinstance(payload, dict) and payload.get("type") == "heartbeat":
+        if type(payload) is dict and payload.get("type") == "heartbeat":
             self.peer_epochs[src] = payload.get("epoch", 0)
         if src in self.suspected:
             self.suspected.discard(src)

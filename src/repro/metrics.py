@@ -9,53 +9,86 @@ module is the single place those counters live.
 from __future__ import annotations
 
 import math
+import random
 import weakref
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
 
 
-@dataclass
 class LatencyStats:
-    """Summary statistics over a series of virtual-time latencies."""
+    """Summary statistics over a series of virtual-time latencies.
 
-    count: int = 0
-    total: float = 0.0
-    minimum: float = math.inf
-    maximum: float = 0.0
-    samples: list[float] = field(default_factory=list)
+    ``count``/``total``/``minimum``/``maximum`` (and hence ``mean``) are
+    exact over every recorded value.  Percentiles come from a bounded
+    reservoir (Vitter's algorithm R, at most :attr:`RESERVOIR_CAP` values)
+    so a million-sample scale run stays O(1) in memory, with the sorted
+    view cached between :meth:`record` calls so repeated percentile reads
+    sort at most once.  The reservoir RNG is seeded per instance, so
+    same-seed simulations report identical percentiles.
+    """
+
+    #: Upper bound on retained raw samples; percentiles over a reservoir
+    #: this size are within a fraction of a percent of exact.
+    RESERVOIR_CAP = 8192
+
+    __slots__ = ("count", "total", "minimum", "maximum", "samples",
+                 "_sorted", "_rng")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = 0.0
+        self.samples: list[float] = []  # the reservoir
+        self._sorted: list[float] | None = None  # cache; None = stale
+        self._rng = random.Random(0x1A7E)
 
     def record(self, value: float) -> None:
         """Add one latency sample."""
         self.count += 1
         self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
-        self.samples.append(value)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        samples = self.samples
+        if len(samples) < self.RESERVOIR_CAP:
+            samples.append(value)
+            self._sorted = None
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_CAP:
+                samples[slot] = value
+                self._sorted = None
 
     @property
     def mean(self) -> float:
-        """Arithmetic mean (0.0 when empty)."""
+        """Arithmetic mean (0.0 when empty), exact over all samples."""
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
-        if not self.samples:
+        """Nearest-rank percentile, ``p`` in [0, 100], over the reservoir."""
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self.samples)
+        if not ordered:
             return 0.0
-        ordered = sorted(self.samples)
         rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
     def absorb(self, other: "LatencyStats", sample_cap: int | None = None) -> None:
         """Fold another series in: count/total/min/max exactly; samples
-        (and therefore percentiles) capped at ``sample_cap`` to bound the
-        memory of process-lifetime aggregates."""
+        (and therefore percentiles) capped at ``sample_cap`` (at most the
+        reservoir cap) to bound the memory of process-lifetime aggregates."""
         self.count += other.count
         self.total += other.total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
-        room = (len(other.samples) if sample_cap is None
-                else max(0, sample_cap - len(self.samples)))
-        self.samples.extend(other.samples[:room])
+        cap = self.RESERVOIR_CAP if sample_cap is None else min(
+            sample_cap, self.RESERVOIR_CAP)
+        room = max(0, cap - len(self.samples))
+        if room:
+            self.samples.extend(other.samples[:room])
+            self._sorted = None
 
 
 class Metrics:

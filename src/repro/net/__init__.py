@@ -17,7 +17,7 @@ Key classes:
 
 from repro.net.latency import ConstantLatency, LanWanLatency, LatencyModel, UniformLatency
 from repro.net.message import Message, MsgKind
-from repro.net.network import Network, Node, RpcRemoteError
+from repro.net.network import NetConfig, Network, Node, RpcRemoteError
 
 __all__ = [
     "ConstantLatency",
@@ -25,6 +25,7 @@ __all__ = [
     "LatencyModel",
     "Message",
     "MsgKind",
+    "NetConfig",
     "Network",
     "Node",
     "RpcRemoteError",

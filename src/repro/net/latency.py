@@ -51,9 +51,14 @@ class UniformLatency:
         self.low_ms = low_ms
         self.high_ms = high_ms
         self.per_byte_ms = per_byte_ms
+        self._span = high_ms - low_ms
 
     def delay(self, src: str, dst: str, size_bytes: int, rng: random.Random) -> float:
-        return rng.uniform(self.low_ms, self.high_ms) + size_bytes * self.per_byte_ms
+        # low + span * random() is random.uniform() spelled out — same
+        # expression, same floats, same RNG stream, one frame cheaper on
+        # the busiest call site in a scale run
+        return (self.low_ms + self._span * rng.random()
+                + size_bytes * self.per_byte_ms)
 
 
 class LanWanLatency:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
@@ -19,7 +18,6 @@ class MsgKind(Enum):
     STREAM = "stream"  # bulk data (blast file transfer)
 
 
-@dataclass
 class Message:
     """One message in flight on the simulated network.
 
@@ -27,15 +25,36 @@ class Message:
     ``tag`` is a free-form category string used only for metrics so
     benchmarks can break message counts down by protocol purpose
     (e.g. ``"update"``, ``"token_request"``, ``"stability"``).
+
+    Slotted, hand-rolled class rather than a dataclass: a scale run creates
+    millions of these, so construction cost and per-instance memory are on
+    the simulator's critical path.  The payload's estimated wire size is
+    computed at most once per message (:meth:`payload_bytes`) — callers
+    that already know it (RPC replies size themselves by payload; heartbeat
+    bursts share one payload) pass it in and skip the walk entirely.
     """
 
-    src: str
-    dst: str
-    kind: MsgKind
-    payload: Any
-    size_bytes: int = 256
-    tag: str = ""
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("src", "dst", "kind", "payload", "size_bytes", "tag",
+                 "msg_id", "_psize")
+
+    def __init__(self, src: str, dst: str, kind: MsgKind, payload: Any,
+                 size_bytes: int = 256, tag: str = "",
+                 payload_bytes: int | None = None):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.tag = tag
+        self.msg_id = next(_msg_ids)
+        self._psize = payload_bytes
+
+    def payload_bytes(self) -> int:
+        """Estimated wire size of the payload; computed once, then cached."""
+        size = self._psize
+        if size is None:
+            size = self._psize = payload_size(self.payload)
+        return size
 
     def __repr__(self) -> str:  # compact for traces
         return (
@@ -53,13 +72,35 @@ def payload_size(obj: Any) -> int:
     Used to size RPC *replies* honestly (requests already declare their
     size at the call site) and to feed the ``net.bytes_moved`` counter.
     """
-    if isinstance(obj, (bytes, bytearray)):
-        return len(obj)
-    if isinstance(obj, str):
-        return len(obj)
-    if isinstance(obj, dict):
-        return sum(payload_size(k) + payload_size(v) for k, v in obj.items())
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return sum(payload_size(v) for v in obj)
-    # ints, floats, bools, None, enums, and anything exotic
-    return 8
+    # Iterative walk with an explicit stack: recursion plus genexpr frames
+    # made this the single hottest function in a scale run (an RPC payload
+    # is ~a dozen nodes, and every request is walked once).  Exact type
+    # checks first — the overwhelmingly common leaves are str/bytes/int —
+    # with isinstance fallbacks for subclasses and rarer containers.
+    total = 0
+    stack = [obj]
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        o = pop()
+        t = type(o)
+        if t is str or t is bytes:
+            total += len(o)
+        elif t is int:
+            total += 8
+        elif t is dict:
+            extend(o.keys())
+            extend(o.values())
+        elif t is list or t is tuple:
+            extend(o)
+        elif isinstance(o, (bytes, bytearray, str)):
+            total += len(o)
+        elif isinstance(o, dict):
+            extend(o.keys())
+            extend(o.values())
+        elif isinstance(o, (list, tuple, set, frozenset)):
+            extend(o)
+        else:
+            # floats, bools, None, enums, and anything exotic
+            total += 8
+    return total

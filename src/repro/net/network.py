@@ -5,11 +5,19 @@ may be lost in transit, and the network may partition for long periods.
 Communication is symmetric — if ``a`` can reach ``b`` then ``b`` can reach
 ``a`` — which the partition representation guarantees by construction
 (partitions are disjoint address sets).
+
+Every send funnels through :meth:`Network.transmit`, which makes it the
+simulator's single hottest function at scale.  The fast-path rules it
+follows: counter keys are interned per message kind (no per-message
+f-strings), payload sizes are computed at most once per message, per-tag
+counters are an opt-in (:class:`NetConfig.tag_metrics`), and metric bumps
+go straight at the counter dict instead of through a method call.
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 import random
 from typing import Any, Callable
 
@@ -20,6 +28,24 @@ from repro.net.message import Message, MsgKind, payload_size
 from repro.sim import Kernel, SimFuture, SimTimeoutError
 
 DEFAULT_RPC_TIMEOUT_MS = 200.0
+
+#: Interned per-kind counter keys — built once, so transmit never
+#: constructs a key string per message.
+_KIND_COUNTER = {kind: f"net.msgs.{kind.value}" for kind in MsgKind}
+
+
+@dataclass
+class NetConfig:
+    """Tunable network accounting knobs.
+
+    ``tag_metrics`` arms the per-tag message counters
+    (``net.msgs.tag.<tag>``).  They are an opt-in because the key is built
+    from the tag per message — benchmarks that break counts down by
+    protocol purpose turn them on; scale runs leave them off and keep
+    ``transmit()`` free of string building.
+    """
+
+    tag_metrics: bool = False
 
 
 class RpcRemoteError(Exception):
@@ -46,12 +72,14 @@ class Network:
         drop_probability: float = 0.0,
         seed: int = 0,
         metrics: Metrics | None = None,
+        config: NetConfig | None = None,
     ):
         self.kernel = kernel
         self.latency = latency or ConstantLatency()
         self.drop_probability = drop_probability
         self.rng = random.Random(seed)
         self.metrics = metrics or Metrics()
+        self.config = config or NetConfig()
         self.nodes: dict[str, Node] = {}
         self._partition_of: dict[str, int] = {}  # addr -> group id; absent = group 0
         self._partitioned = False
@@ -115,6 +143,8 @@ class Network:
         b = self.nodes.get(dst)
         if a is None or b is None or not a.alive or not b.alive:
             return False
+        if not self._partitioned:
+            return True
         return self._partition_of.get(src, 0) == self._partition_of.get(dst, 0)
 
     # ------------------------------------------------------------------ #
@@ -124,31 +154,78 @@ class Network:
     def transmit(self, msg: Message) -> None:
         """Send ``msg``; it is delivered, dropped, or silently lost to a
         partition after the modeled latency."""
-        self.metrics.incr("net.msgs")
-        self.metrics.incr(f"net.msgs.{msg.kind.value}")
-        if msg.tag:
-            self.metrics.incr(f"net.msgs.tag.{msg.tag}")
-        self.metrics.incr("net.bytes", msg.size_bytes)
+        counters = self.metrics.counters
+        counters["net.msgs"] += 1
+        counters[_KIND_COUNTER[msg.kind]] += 1
+        if msg.tag and self.config.tag_metrics:
+            counters["net.msgs.tag." + msg.tag] += 1
+        counters["net.bytes"] += msg.size_bytes
         # actual payload bytes, independent of the declared wire size — the
         # honest bandwidth figure benchmarks report (a 2 MB read moves 2 MB
         # here whatever the caller declared)
-        self.metrics.incr("net.bytes_moved", payload_size(msg.payload))
+        counters["net.bytes_moved"] += msg.payload_bytes()
         if self.trace is not None:
             self.trace.append(msg)
         if self.drop_probability and self.rng.random() < self.drop_probability:
-            self.metrics.incr("net.dropped")
+            counters["net.dropped"] += 1
             return
         delay = self.latency.delay(msg.src, msg.dst, msg.size_bytes, self.rng)
-        self.kernel.schedule(delay, self._arrive, msg)
+        self.kernel.post(delay, self._arrive, msg)
+
+    def multicast(self, src: str, dsts: list[str], payload: Any,
+                  size_bytes: int = 256, tag: str = "") -> None:
+        """Send one datagram payload to many destinations.
+
+        The fast path for periodic fan-out (heartbeats: every server to
+        every peer, forever): the payload object and its computed wire size
+        are shared across the burst and metrics are bumped once per burst
+        instead of once per message.  Per-destination drop and latency
+        draws happen in the same order a loop of :meth:`transmit` calls
+        would make, so seeded runs stay byte-identical either way.
+        """
+        if not dsts:
+            return
+        n = len(dsts)
+        psize = payload_size(payload)
+        counters = self.metrics.counters
+        counters["net.msgs"] += n
+        counters[_KIND_COUNTER[MsgKind.DATAGRAM]] += n
+        if tag and self.config.tag_metrics:
+            counters["net.msgs.tag." + tag] += n
+        counters["net.bytes"] += size_bytes * n
+        counters["net.bytes_moved"] += psize * n
+        trace = self.trace
+        drop = self.drop_probability
+        rng = self.rng
+        latency_delay = self.latency.delay
+        post = self.kernel.post
+        arrive = self._arrive
+        for dst in dsts:
+            msg = Message(src, dst, MsgKind.DATAGRAM, payload, size_bytes,
+                          tag, payload_bytes=psize)
+            if trace is not None:
+                trace.append(msg)
+            if drop and rng.random() < drop:
+                counters["net.dropped"] += 1
+                continue
+            post(latency_delay(src, dst, size_bytes, rng), arrive, msg)
 
     def _arrive(self, msg: Message) -> None:
         # Reachability is evaluated at arrival time: a partition or crash
         # occurring while the message is in flight loses the message, which
-        # matches datagram semantics.
-        if not self.reachable(msg.src, msg.dst):
-            self.metrics.incr("net.lost_unreachable")
+        # matches datagram semantics.  (This is reachable() unrolled — one
+        # Python frame per delivered message is measurable at scale.)
+        nodes = self.nodes
+        src, dst = msg.src, msg.dst
+        a = nodes.get(src)
+        b = nodes.get(dst)
+        if (a is None or b is None or not a.alive or not b.alive
+                or (self._partitioned
+                    and self._partition_of.get(src, 0)
+                    != self._partition_of.get(dst, 0))):
+            self.metrics.counters["net.lost_unreachable"] += 1
             return
-        self.nodes[msg.dst]._deliver(msg)
+        b._deliver(msg)
 
 
 class Node:
@@ -169,7 +246,10 @@ class Node:
         self.epoch = 0  # bumped on every crash; stale work is discarded
         self._rpc_seq = itertools.count(1)
         self._pending_rpcs: dict[int, SimFuture] = {}
-        self._tasks: list[Any] = []
+        # insertion-ordered task registry (dict-as-set): reaping a finished
+        # task is O(1) instead of the quadratic list.remove() churn a busy
+        # server would otherwise pay
+        self._tasks: dict[Any, None] = {}
         self._handlers: dict[str, Callable] = {}
         network.register(self)
 
@@ -183,12 +263,12 @@ class Node:
             return
         self.alive = False
         self.epoch += 1
-        for task in self._tasks:
+        tasks, self._tasks = self._tasks, {}
+        for task in tasks:
             task.cancel()
-        self._tasks.clear()
-        for fut in self._pending_rpcs.values():
+        pending, self._pending_rpcs = self._pending_rpcs, {}
+        for fut in pending.values():
             fut.try_set_exception(Unreachable(f"{self.addr} crashed with RPC pending"))
-        self._pending_rpcs.clear()
         self.network.metrics.incr("node.crashes")
         self.on_crash()
 
@@ -209,27 +289,38 @@ class Node:
     def spawn(self, coro, name: str = ""):
         """Spawn a task tied to this node's life (cancelled on crash)."""
         task = self.kernel.spawn(coro, name=name or f"{self.addr}:task")
-        self._tasks.append(task)
+        self._tasks[task] = None
         task.add_done_callback(self._reap)
         return task
 
     def _reap(self, task) -> None:
-        try:
-            self._tasks.remove(task)
-        except ValueError:
-            pass
+        self._tasks.pop(task, None)
 
     # ------------------------------------------------------------------ #
     # datagrams
     # ------------------------------------------------------------------ #
 
-    def send(self, dst: str, payload: Any, size_bytes: int = 256, tag: str = "") -> None:
-        """Fire-and-forget datagram."""
+    def send(self, dst: str, payload: Any, size_bytes: int = 256,
+             tag: str = "", payload_bytes: int | None = None) -> None:
+        """Fire-and-forget datagram.
+
+        ``payload_bytes`` lets a caller that already knows the payload's
+        wire size (or reuses one payload many times) skip the recursive
+        size walk in :meth:`Network.transmit`.
+        """
         if not self.alive:
             return
         self.network.transmit(
-            Message(self.addr, dst, MsgKind.DATAGRAM, payload, size_bytes, tag)
+            Message(self.addr, dst, MsgKind.DATAGRAM, payload, size_bytes,
+                    tag, payload_bytes=payload_bytes)
         )
+
+    def multicast(self, dsts: list[str], payload: Any, size_bytes: int = 256,
+                  tag: str = "") -> None:
+        """Fire-and-forget datagram to many destinations (shared payload)."""
+        if not self.alive:
+            return
+        self.network.multicast(self.addr, dsts, payload, size_bytes, tag)
 
     # ------------------------------------------------------------------ #
     # RPC
@@ -289,9 +380,10 @@ class Node:
     def _deliver(self, msg: Message) -> None:
         if not self.alive:
             return
-        if msg.kind is MsgKind.RPC_REQUEST:
+        kind = msg.kind
+        if kind is MsgKind.RPC_REQUEST:
             self.spawn(self._serve_rpc(msg), name=f"{self.addr}:rpc:{msg.payload['method']}")
-        elif msg.kind is MsgKind.RPC_REPLY:
+        elif kind is MsgKind.RPC_REPLY:
             self._accept_reply(msg)
         else:
             self.on_message(msg)
@@ -317,14 +409,15 @@ class Node:
                 }
             if self.epoch != epoch or not self.alive:
                 return  # crashed while serving: reply dies with us
+        # replies are sized by their payload: a 2 MB read reply pays 2 MB
+        # of transfer latency, a stat reply the minimum — without this,
+        # bulk reads looked free and striping could not be measured
+        # honestly.  Sized once here; transmit reuses the cached figure.
+        psize = payload_size(reply)
         self.network.transmit(
-            # replies are sized by their payload: a 2 MB read reply pays
-            # 2 MB of transfer latency, a stat reply the minimum — without
-            # this, bulk reads looked free and striping could not be
-            # measured honestly
             Message(self.addr, msg.src, MsgKind.RPC_REPLY, reply,
-                    max(256, payload_size(reply)),
-                    tag=payload["method"] + ".reply")
+                    max(256, psize), tag=payload["method"] + ".reply",
+                    payload_bytes=psize)
         )
 
     def _accept_reply(self, msg: Message) -> None:

@@ -40,16 +40,20 @@ class DeceitServer:
 
     def __init__(self, network: Network, addr: str, cell_peers: list[str],
                  rank: int, metrics: Metrics | None = None,
-                 fd_timeout_ms: float = 200.0, placement_config=None):
+                 fd_timeout_ms: float = 200.0, placement_config=None,
+                 fd_interval_ms: float = 50.0,
+                 merge_audit_interval_ms: float | None = None):
         self.addr = addr
         self.proc = IsisProcess(network, addr, cell_peers=cell_peers,
+                                fd_interval_ms=fd_interval_ms,
                                 fd_timeout_ms=fd_timeout_ms)
         self.kernel = self.proc.kernel
         self.metrics = metrics or network.metrics
         self.disk = Disk(self.kernel, name=f"{addr}.disk", metrics=self.metrics)
-        self.segments = SegmentServer(self.proc, self.disk, rank,
-                                      metrics=self.metrics,
-                                      placement_config=placement_config)
+        self.segments = SegmentServer(
+            self.proc, self.disk, rank, metrics=self.metrics,
+            placement_config=placement_config,
+            merge_audit_interval_ms=merge_audit_interval_ms)
         self.envelope = Envelope(self.segments)
         self.proc.register_handler("nfs", self._h_nfs)
         self.proc.register_handler("nfs_root", self._h_root)

@@ -1,13 +1,27 @@
 """Virtual-time event loop with awaitable futures and coroutine tasks.
 
 The kernel is a classic discrete-event simulator: a priority queue of
-``(time, sequence, callback)`` entries and a virtual clock that jumps from
+``(time, sequence, event)`` entries and a virtual clock that jumps from
 event to event.  On top of that sits a minimal coroutine runtime so protocol
 code can be written with ``async``/``await`` instead of callback chains.
 
 Determinism: events at equal virtual times fire in scheduling order (a
 monotonically increasing sequence number breaks ties), so any simulation
 driven by seeded RNGs is exactly reproducible.
+
+Scale fast paths (the hot loops every simulated operation funnels through):
+
+- the heap holds plain ``(when, seq, event)`` tuples, so ordering is
+  resolved by C-level tuple comparison instead of a Python ``__lt__``;
+- zero-delay events (coroutine steps, future callbacks) go through a FIFO
+  deque and never touch the heap — ``(when, seq)`` order is preserved by
+  merging the two sorted streams at pop time;
+- cancelled events (one RPC timeout per RPC, nearly always cancelled) are
+  counted, and the queue is compacted once they dominate it, instead of
+  letting dead timers linger until their deadline;
+- :meth:`run` drains same-timestamp batches without re-checking the
+  ``until`` bound per event, and :meth:`run_until_complete` drives the
+  loop inline rather than paying a ``run(max_events=1)`` call per event.
 """
 
 from __future__ import annotations
@@ -15,6 +29,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import warnings
+from collections import deque
 from collections.abc import Awaitable, Callable, Coroutine, Iterable
 from typing import Any
 
@@ -247,21 +262,32 @@ class _Event:
         self.args = args
         self.cancelled = False
 
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
-
 
 class EventHandle:
     """Handle returned by :meth:`Kernel.schedule`; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_kernel")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, kernel: "Kernel"):
         self._event = event
+        self._kernel = kernel
 
     def cancel(self) -> None:
-        """Prevent the scheduled callback from firing (idempotent)."""
-        self._event.cancelled = True
+        """Prevent the scheduled callback from firing (idempotent).
+
+        The event stays queued but dead; the kernel counts dead entries and
+        compacts the queue when they dominate it (an RPC-heavy run otherwise
+        drags a heap full of never-to-fire timeout timers)."""
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            event.fn = None
+            event.args = ()
+            kernel = self._kernel
+            kernel._cancelled += 1
+            if (kernel._cancelled >= kernel.COMPACT_MIN_DEAD
+                    and kernel._cancelled * 2 >= len(kernel._queue)):
+                kernel._compact()
 
     @property
     def cancelled(self) -> bool:
@@ -277,11 +303,20 @@ class Kernel:
     :meth:`run_until_complete`.
     """
 
+    #: Compaction trigger: rebuild the heap once at least this many events
+    #: are dead *and* they make up half the queue.  Amortized O(1) per
+    #: cancellation; keeps pathological timer churn from growing the heap.
+    COMPACT_MIN_DEAD = 512
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[_Event] = []
+        self._queue: list[tuple[float, int, _Event]] = []
+        #: zero-delay events, in (when, seq) order by construction — `now`
+        #: never decreases and seq only grows, so appends stay sorted
+        self._fifo: deque[_Event] = deque()
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled = 0  # dead events still sitting in queue or fifo
 
     # ------------------------------------------------------------------ #
     # scheduling primitives
@@ -291,18 +326,55 @@ class Kernel:
         """Run ``fn(*args)`` after ``delay`` units of virtual time."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.call_at(self.now + delay, fn, *args)
+        event = _Event(self.now + delay, next(self._seq), fn, args)
+        if delay == 0:
+            self._fifo.append(event)
+        else:
+            heapq.heappush(self._queue, (event.when, event.seq, event))
+        return EventHandle(event, self)
 
     def call_at(self, when: float, fn: Callable, *args: Any) -> EventHandle:
         """Run ``fn(*args)`` at absolute virtual time ``when``."""
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         event = _Event(when, next(self._seq), fn, args)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        if when == self.now:
+            self._fifo.append(event)
+        else:
+            heapq.heappush(self._queue, (when, event.seq, event))
+        return EventHandle(event, self)
 
-    def _schedule_now(self, fn: Callable, *args: Any) -> EventHandle:
-        return self.call_at(self.now, fn, *args)
+    def post(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle.
+
+        The hot paths (message arrival, timer-free protocol steps) never
+        cancel, so they skip the handle allocation entirely.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        event = _Event(self.now + delay, next(self._seq), fn, args)
+        if delay == 0:
+            self._fifo.append(event)
+        else:
+            heapq.heappush(self._queue, (event.when, event.seq, event))
+
+    def _schedule_now(self, fn: Callable, *args: Any) -> None:
+        self._fifo.append(_Event(self.now, next(self._seq), fn, args))
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (both queues).
+
+        Rebuilds *in place*: the run loops cache references to the queue
+        and fifo containers, so their identities must never change.
+        """
+        self._queue[:] = [entry for entry in self._queue
+                          if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        if any(event.cancelled for event in self._fifo):
+            live = [e for e in self._fifo if not e.cancelled]
+            self._fifo.clear()
+            self._fifo.extend(live)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------ #
     # coroutine layer
@@ -320,8 +392,8 @@ class Kernel:
 
     def sleep(self, delay: float) -> SimFuture:
         """Future that resolves after ``delay`` virtual time units."""
-        fut = self.create_future()
-        self.schedule(delay, fut.try_set_result, None)
+        fut = SimFuture(self)
+        self.post(delay, fut.try_set_result, None)
         return fut
 
     def wait_for(self, awaitable: Awaitable, timeout: float) -> SimFuture:
@@ -395,29 +467,91 @@ class Kernel:
     # execution
     # ------------------------------------------------------------------ #
 
+    def _next_live(self) -> _Event | None:
+        """Pop-and-return the next live event in (when, seq) order, or
+        ``None`` when both queues are drained of live events.  Dead entries
+        encountered on the way out are discarded."""
+        queue, fifo = self._queue, self._fifo
+        while True:
+            while fifo and fifo[0].cancelled:
+                fifo.popleft()
+                self._cancelled -= 1
+            while queue and queue[0][2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+            if fifo:
+                if queue:
+                    head = queue[0]
+                    first = fifo[0]
+                    if (head[0], head[1]) < (first.when, first.seq):
+                        event = heapq.heappop(queue)[2]
+                    else:
+                        event = fifo.popleft()
+                else:
+                    event = fifo.popleft()
+            elif queue:
+                event = heapq.heappop(queue)[2]
+            else:
+                return None
+            if not event.cancelled:
+                return event
+
+    def _peek_when(self) -> float | None:
+        """Virtual time of the next live event (``None`` when idle)."""
+        queue, fifo = self._queue, self._fifo
+        while fifo and fifo[0].cancelled:
+            fifo.popleft()
+            self._cancelled -= 1
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        if fifo and queue:
+            return min(fifo[0].when, queue[0][0])
+        if fifo:
+            return fifo[0].when
+        if queue:
+            return queue[0][0]
+        return None
+
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Process events until the queue empties, ``until`` is reached, or
         ``max_events`` have fired.  Returns the number of events processed.
+
+        Events sharing a timestamp are drained as a batch: once one event at
+        time ``t`` has passed the ``until`` check, everything else at ``t``
+        fires without re-checking the bound.
         """
         processed = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and event.when > until:
+        while True:
+            when = self._peek_when()
+            if when is None:
+                if until is not None and until > self.now:
+                    self.now = until
+                break
+            if until is not None and when > until:
                 self.now = until
                 break
             if max_events is not None and processed >= max_events:
                 break
-            heapq.heappop(self._queue)
-            self.now = event.when
-            event.fn(*event.args)
-            processed += 1
-            self._events_processed += 1
-        else:
-            if until is not None and until > self.now:
-                self.now = until
+            # same-timestamp batch: deliver every event at `when` (including
+            # zero-delay events the callbacks add) without another bound check
+            self.now = when
+            while True:
+                event = self._next_live()
+                if event is None:
+                    break
+                if event.when != when:
+                    # overshot into the next timestamp: put it back un-run
+                    heapq.heappush(self._queue, (event.when, event.seq, event))
+                    break
+                event.fn(*event.args)
+                # mark fired so a later handle.cancel() (RPC replies cancel
+                # their own just-fired timeout) cannot skew the dead count
+                event.cancelled = True
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
         return processed
 
     def run_until_complete(self, awaitable: Awaitable, limit: float | None = None) -> Any:
@@ -428,19 +562,53 @@ class Kernel:
         raised.
         """
         fut = awaitable if isinstance(awaitable, SimFuture) else self.spawn(awaitable)
-        while not fut.done():
-            if not self._queue:
-                raise RuntimeError("simulation deadlock: no events but future pending")
-            if limit is not None and self._queue[0].when > limit:
-                raise SimTimeoutError(f"virtual-time limit {limit} reached")
-            self.run(max_events=1)
+        # this loop drives every simulation in the repository: the merge of
+        # the two queues is inlined (no per-event helper calls) because one
+        # long scale run pumps millions of events through here
+        queue, fifo = self._queue, self._fifo
+        heappop = heapq.heappop
+        while not fut._done:
+            while fifo and fifo[0].cancelled:
+                fifo.popleft()
+                self._cancelled -= 1
+            while queue and queue[0][2].cancelled:
+                heappop(queue)
+                self._cancelled -= 1
+            if fifo:
+                event = fifo[0]
+                if queue:
+                    head = queue[0]
+                    if head[0] < event.when or (head[0] == event.when
+                                                and head[1] < event.seq):
+                        event = head[2]
+                        if limit is not None and event.when > limit:
+                            raise SimTimeoutError(
+                                f"virtual-time limit {limit} reached")
+                        heappop(queue)
+                    else:
+                        fifo.popleft()
+                else:
+                    fifo.popleft()
+            elif queue:
+                event = queue[0][2]
+                if limit is not None and event.when > limit:
+                    raise SimTimeoutError(f"virtual-time limit {limit} reached")
+                heappop(queue)
+            else:
+                raise RuntimeError(
+                    "simulation deadlock: no live events but future pending "
+                    f"({self.live_events} live events)")
+            self.now = event.when
+            event.fn(*event.args)
+            event.cancelled = True  # fired; see note in run()
+            self._events_processed += 1
         return fut.result()
 
     def shutdown(self) -> None:
         """Tear down a simulation mid-flight: drop every queued event and
         close the coroutines of tasks that never got to run, so nothing
         lingers to be flagged at garbage collection.  Idempotent."""
-        for event in self._queue:
+        for event in [entry[2] for entry in self._queue] + list(self._fifo):
             if event.cancelled:
                 continue
             owner = getattr(event.fn, "__self__", None)
@@ -452,6 +620,8 @@ class Kernel:
                 owner.try_set_exception(TaskCancelled())
             event.cancelled = True
         self._queue.clear()
+        self._fifo.clear()
+        self._cancelled = 0
 
     @property
     def events_processed(self) -> int:
@@ -459,6 +629,21 @@ class Kernel:
         return self._events_processed
 
     @property
+    def live_events(self) -> int:
+        """Number of events queued and still due to fire.
+
+        Cancelled-but-unreaped entries are excluded — this is the honest
+        "is the simulation actually idle?" figure the deadlock diagnostic
+        reports.
+        """
+        return len(self._queue) + len(self._fifo) - self._cancelled
+
+    @property
     def pending_events(self) -> int:
-        """Number of events currently queued (including cancelled ones)."""
-        return len(self._queue)
+        """Alias of :attr:`live_events`.
+
+        Historical note: this used to report raw queue length *including*
+        cancelled timers, which made an idle simulation with a heap of dead
+        RPC-timeout entries look busy.
+        """
+        return self.live_events

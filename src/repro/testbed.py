@@ -18,7 +18,8 @@ from repro.core import SegmentServer
 from repro.core.placement import PlacementConfig
 from repro.isis import IsisProcess
 from repro.metrics import Metrics
-from repro.net import LanWanLatency, LatencyModel, Network, UniformLatency
+from repro.net import (LanWanLatency, LatencyModel, NetConfig, Network,
+                       UniformLatency)
 from repro.nfs import DeceitServer, FileHandle
 from repro.sim import Kernel
 from repro.storage import Disk
@@ -76,6 +77,7 @@ def build_core_cluster(
     disk_group_commit: bool = True,
     rebalance: bool = False,
     placement: PlacementConfig | None = None,
+    net_config: NetConfig | None = None,
 ) -> CoreCluster:
     """Stand up ``n_servers`` segment servers named ``s0`` … ``s{n-1}``.
 
@@ -85,13 +87,14 @@ def build_core_cluster(
     per record) — the baseline the batching benchmarks compare against.
     ``rebalance=True`` arms the heat-driven placement control loop on
     every server (see :mod:`repro.core.placement`); ``placement`` tunes
-    its thresholds.
+    its thresholds.  ``net_config`` tunes network accounting (e.g.
+    ``NetConfig(tag_metrics=True)`` for per-tag message breakdowns).
     """
     kernel = Kernel()
     metrics = Metrics()
     network = Network(kernel, latency=latency or UniformLatency(1.0, 3.0),
                       drop_probability=drop_probability, seed=seed,
-                      metrics=metrics)
+                      metrics=metrics, config=net_config)
     addrs = [f"s{i}" for i in range(n_servers)]
     procs: list[IsisProcess] = []
     servers: list[SegmentServer] = []
@@ -177,37 +180,94 @@ def build_cluster(
     rebalance: bool = False,
     placement: PlacementConfig | None = None,
     namespace_dirops: bool = True,
+    net_config: NetConfig | None = None,
+    fd_interval_ms: float = 50.0,
+    merge_audit_interval_ms: float | None = None,
+    scatter_agents: bool = False,
 ) -> Cluster:
     """Stand up a full Deceit cell with a bootstrapped namespace.
 
     Servers are ``s0`` … (prefixed with ``<cell>/`` when ``cell`` is set);
     agents are ``c0`` …, all mounted on server 0 initially (failover takes
-    them elsewhere when enabled).  ``rebalance=True`` arms the placement
-    control loop on every server.  ``namespace_dirops=False`` drops every
-    envelope back to the seed's whole-table optimistic directory
-    transactions — the baseline the namespace benchmark measures against.
+    them elsewhere when enabled) unless ``scatter_agents`` spreads the
+    mounts ring-style (agent *i* mounts server ``i mod n`` — the large-cell
+    default, where a single mount point would be a hotspot).
+    ``rebalance=True`` arms the placement control loop on every server.
+    ``namespace_dirops=False`` drops every envelope back to the seed's
+    whole-table optimistic directory transactions — the baseline the
+    namespace benchmark measures against.
     """
     kernel = Kernel()
     metrics = Metrics()
     network = Network(kernel, latency=latency or UniformLatency(1.0, 3.0),
-                      seed=seed, metrics=metrics)
+                      seed=seed, metrics=metrics, config=net_config)
     cluster = _build_cell(kernel, network, metrics, n_servers, n_agents,
                           agent_config, fd_timeout_ms, cell,
                           rebalance=rebalance, placement=placement,
-                          namespace_dirops=namespace_dirops)
+                          namespace_dirops=namespace_dirops,
+                          fd_interval_ms=fd_interval_ms,
+                          merge_audit_interval_ms=merge_audit_interval_ms,
+                          scatter_agents=scatter_agents)
     return cluster
+
+
+def build_scale_cluster(
+    n_servers: int,
+    n_agents: int,
+    seed: int = 0,
+    agent_config: AgentConfig | None = None,
+    latency: LatencyModel | None = None,
+    net_config: NetConfig | None = None,
+    fd_interval_ms: float | None = None,
+    merge_audit_interval_ms: float | None = None,
+) -> Cluster:
+    """A large-cell profile of :func:`build_cluster` for O(100)-server runs.
+
+    Differences from the default builder, all motivated by what a real
+    large deployment does:
+
+    - agents mount ring-scattered (agent *i* → server ``i mod n``), so
+      files they create are token-held and initially placed around the
+      whole ring instead of piling onto server 0;
+    - the failure-detector period stretches with cell size
+      (``max(50 ms, n × 4 ms)`` by default): an all-pairs heartbeat mesh is
+      O(n²) messages per interval, and no 100-server production system
+      pings at 20 Hz — suspicion latency scales accordingly (timeout stays
+      4× the interval);
+    - the periodic merge audit stretches the same way
+      (``max(2 s, n × 250 ms)``): each tick probes every peer about every
+      hosted group, and partition heals are caught immediately by the
+      failure detector anyway — the audit is a backstop for silent
+      evictions, not the primary heal path;
+    - per-tag message counters stay off (the default) so ``transmit()``
+      never builds key strings.
+    """
+    if fd_interval_ms is None:
+        fd_interval_ms = max(50.0, n_servers * 4.0)
+    if merge_audit_interval_ms is None:
+        merge_audit_interval_ms = max(2000.0, n_servers * 250.0)
+    return build_cluster(
+        n_servers=n_servers, n_agents=n_agents, seed=seed,
+        agent_config=agent_config, latency=latency, net_config=net_config,
+        fd_interval_ms=fd_interval_ms, fd_timeout_ms=4 * fd_interval_ms,
+        merge_audit_interval_ms=merge_audit_interval_ms,
+        scatter_agents=True)
 
 
 def _build_cell(kernel, network, metrics, n_servers, n_agents,
                 agent_config, fd_timeout_ms, cell,
                 rebalance=False, placement=None,
-                namespace_dirops=True) -> Cluster:
+                namespace_dirops=True, fd_interval_ms=50.0,
+                merge_audit_interval_ms=None,
+                scatter_agents=False) -> Cluster:
     prefix = f"{cell}." if cell else ""
     addrs = [f"{prefix}s{i}" for i in range(n_servers)]
     servers = [
         DeceitServer(network, addr, cell_peers=addrs, rank=rank,
                      metrics=metrics, fd_timeout_ms=fd_timeout_ms,
-                     placement_config=placement)
+                     placement_config=placement,
+                     fd_interval_ms=fd_interval_ms,
+                     merge_audit_interval_ms=merge_audit_interval_ms)
         for rank, addr in enumerate(addrs)
     ]
     for server in servers:
@@ -224,6 +284,9 @@ def _build_cell(kernel, network, metrics, n_servers, n_agents,
         Agent(network, f"{prefix}c{i}", servers=addrs, config=agent_config)
         for i in range(n_agents)
     ]
+    if scatter_agents:
+        for i, agent in enumerate(agents):
+            agent.current = i % n_servers
     return Cluster(kernel=kernel, network=network, metrics=metrics,
                    servers=servers, agents=agents, root=root)
 

@@ -229,3 +229,93 @@ def test_trace_records_messages(kernel, network):
     kernel.run()
     assert len(network.trace) == 1
     assert network.trace[0].tag == "test"
+
+
+# ---- scale fast paths: tag opt-in, multicast, task registry --------------- #
+
+def test_tag_metrics_are_opt_in(kernel):
+    from repro.metrics import Metrics
+    from repro.net import NetConfig
+
+    quiet = Network(kernel, seed=1, metrics=Metrics())
+    a = Echo(quiet, "a")
+    Echo(quiet, "b")
+    a.send("b", "x", tag="probe")
+    kernel.run()
+    assert quiet.metrics.get("net.msgs") == 1
+    assert "net.msgs.tag.probe" not in quiet.metrics.counters
+
+    loud = Network(kernel, seed=1, metrics=Metrics(),
+                   config=NetConfig(tag_metrics=True))
+    c = Echo(loud, "c")
+    Echo(loud, "d")
+    c.send("d", "x", tag="probe")
+    kernel.run()
+    assert loud.metrics.get("net.msgs.tag.probe") == 1
+
+
+def test_multicast_matches_a_transmit_loop_exactly():
+    # the heartbeat fast path must consume the seeded RNG in the same
+    # order as per-destination sends: same metrics, same deliveries, same
+    # subsequent draws
+    from repro.metrics import Metrics
+    from repro.net import UniformLatency
+    from repro.sim import Kernel
+
+    outcomes = []
+    for use_multicast in (False, True):
+        k = Kernel()
+        net = Network(k, latency=UniformLatency(1.0, 4.0), seed=7,
+                      metrics=Metrics())
+        nodes = [Echo(net, f"n{i}") for i in range(5)]
+        dsts = [f"n{i}" for i in range(1, 5)]
+        payload = {"type": "ping", "x": 1}
+        if use_multicast:
+            nodes[0].multicast(dsts, payload, size_bytes=32, tag="t")
+        else:
+            for dst in dsts:
+                nodes[0].send(dst, payload, size_bytes=32, tag="t")
+        nodes[0].send("n1", "after")  # stream position must match too
+        k.run()
+        outcomes.append((net.metrics.snapshot(), k.now,
+                         [n.inbox for n in nodes]))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_multicast_skips_dead_sender_and_empty_roster(kernel, network):
+    a = Echo(network, "a")
+    b = Echo(network, "b")
+    a.multicast([], {"x": 1})
+    a.crash()
+    a.multicast(["b"], {"x": 1})
+    kernel.run()
+    assert b.inbox == []
+    assert network.metrics.get("net.msgs") == 0
+
+
+def test_task_registry_reaps_in_constant_shape(kernel, network):
+    a = Echo(network, "a")
+
+    async def noop():
+        return 1
+
+    tasks = [a.spawn(noop()) for _ in range(10)]
+    kernel.run()
+    assert all(t.done() for t in tasks)
+    assert a._tasks == {}               # dict registry fully reaped
+
+
+def test_crash_clears_task_registry_and_pending_rpcs(kernel, network):
+    a = Echo(network, "a")
+    Echo(network, "b")
+
+    async def forever():
+        await kernel.create_future()
+
+    a.spawn(forever())
+    fut = a.rpc("b", "slow", {"delay": 500.0})
+    a.crash()
+    assert a._tasks == {}
+    assert a._pending_rpcs == {}
+    kernel.run()
+    assert isinstance(fut.exception(), Unreachable)

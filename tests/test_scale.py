@@ -1,0 +1,59 @@
+"""Scale-cell integration: large builders, smoke runs, and determinism.
+
+The full-size (64/128-server) runs live in ``benchmarks/test_perf_scale``;
+here tier-1 pins the properties those runs rely on, at sizes fast enough
+to run on every push:
+
+- :func:`repro.testbed.build_scale_cluster` really ring-scatters agents
+  and stretches the failure-detector / merge-audit periods with cell size;
+- a 16-server cell completes a zipf hotspot workload with every op
+  succeeding (smoke);
+- two same-seed 64-server runs are *byte-identical*: every counter, the
+  final virtual clock, and the latency percentiles — the property that
+  makes seeded scale benchmarks comparable across machines and PRs.
+"""
+
+from repro.testbed import build_scale_cluster
+from repro.workloads import WorkloadGenerator, hotspot_config
+from repro.workloads.replay import replay
+
+
+def _run(n_servers, n_agents, duration_ms, seed):
+    cfg = hotspot_config(n_clients=n_agents, duration_ms=duration_ms,
+                         seed=seed)
+    ops = WorkloadGenerator(cfg).generate()
+    cluster = build_scale_cluster(n_servers=n_servers, n_agents=n_agents,
+                                  seed=seed)
+    stats = cluster.run(replay(cluster, ops), limit=1_000_000.0)
+    out = (stats.attempted, stats.succeeded, cluster.metrics.snapshot(),
+           cluster.kernel.now, stats.latency.percentile(50),
+           stats.latency.percentile(99))
+    cluster.close()
+    return out
+
+
+def test_scale_cluster_scatters_agents_and_stretches_intervals():
+    cluster = build_scale_cluster(16, 20, seed=3)
+    # ring-scattered mounts: agent i starts on server i mod n
+    assert [agent.current for agent in cluster.agents] == \
+        [i % 16 for i in range(20)]
+    fd = cluster.servers[0].proc.fd
+    assert fd.interval_ms == max(50.0, 16 * 4.0)
+    assert fd.timeout_ms == 4 * fd.interval_ms
+    assert cluster.servers[0].segments.recovery.audit_interval_ms == \
+        max(2000.0, 16 * 250.0)
+    cluster.close()
+
+
+def test_scale_smoke_16_servers():
+    attempted, ok, snap, now, p50, p99 = _run(16, 8, 2_000.0, seed=7)
+    assert attempted > 0 and ok == attempted
+    assert snap["net.msgs"] > 0
+    assert 0.0 < p50 <= p99
+
+
+def test_scale_determinism_64_servers():
+    first = _run(64, 16, 2_000.0, seed=11)
+    second = _run(64, 16, 2_000.0, seed=11)
+    # identical counters, ops, virtual clock, and latency percentiles
+    assert first == second

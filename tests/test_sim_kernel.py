@@ -225,3 +225,94 @@ def test_shutdown_leaves_no_unawaited_warnings(kernel):
         w.simplefilter("always")
         gc.collect()
     assert not [x for x in caught if "never awaited" in str(x.message)]
+
+
+# ---- fast-path surface: live counts, fifo, compaction, post --------------- #
+
+def test_live_events_excludes_cancelled(kernel):
+    handles = [kernel.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert kernel.live_events == 10
+    for handle in handles[:6]:
+        handle.cancel()
+    assert kernel.live_events == 4
+    assert kernel.pending_events == 4   # honest alias, same number
+    kernel.run()
+    assert kernel.live_events == 0
+
+
+def test_cancel_after_fire_is_a_no_op(kernel):
+    # RPC replies cancel their own already-fired timeout via done-callback;
+    # that must not skew the live count below zero
+    fired = []
+    handle = kernel.schedule(1.0, fired.append, 1)
+    kernel.run()
+    handle.cancel()
+    handle.cancel()
+    assert fired == [1]
+    assert kernel.live_events == 0
+
+
+def test_zero_delay_events_keep_global_seq_order(kernel):
+    order = []
+    kernel.schedule(0.0, order.append, "z1")    # fifo, seq 0
+    kernel.schedule(1.0, order.append, "heap")  # heap, seq 1
+    kernel.schedule(0.0, order.append, "z2")    # fifo, seq 2
+    kernel.run()
+    assert order == ["z1", "z2", "heap"]
+
+
+def test_zero_delay_from_callback_interleaves_by_seq(kernel):
+    # an event spawned at time t from a callback must still fire after
+    # events already scheduled for t with smaller seq — fifo and heap are
+    # merged on (when, seq), not fifo-first
+    order = []
+
+    def outer():
+        order.append("outer")
+        kernel.schedule(0.0, order.append, "inner")
+
+    kernel.schedule(5.0, outer)
+    kernel.schedule(5.0, order.append, "later")
+    kernel.run()
+    assert order == ["outer", "later", "inner"]
+
+
+def test_post_fire_and_forget(kernel):
+    order = []
+    kernel.post(2.0, order.append, "b")
+    kernel.post(0.0, order.append, "a")
+    assert kernel.live_events == 2
+    kernel.run()
+    assert order == ["a", "b"]
+    with pytest.raises(ValueError):
+        kernel.post(-1.0, lambda: None)
+
+
+def test_mass_cancellation_compacts_and_preserves_order(kernel):
+    fired, kept = [], []
+    for i in range(2000):
+        handle = kernel.schedule(float(i + 1), fired.append, i)
+        if i % 4:
+            handle.cancel()
+        else:
+            kept.append(i)
+    assert kernel.live_events == len(kept)
+    # the dead-entry threshold was crossed many times over: the heap must
+    # have been compacted rather than retaining all 1500 corpses
+    assert len(kernel._queue) < 2000
+    kernel.run()
+    assert fired == kept
+    assert kernel.live_events == 0
+
+
+def test_run_until_complete_drains_fifo_and_heap(kernel):
+    order = []
+
+    async def main():
+        kernel.schedule(0.0, order.append, "zero")
+        await kernel.sleep(3.0)
+        kernel.post(0.0, order.append, "post")
+        await kernel.sleep(1.0)
+        return order
+
+    assert run(kernel, main()) == ["zero", "post"]

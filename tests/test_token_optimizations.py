@@ -6,7 +6,11 @@ correctness and (b) they save the communication they promise to save.
 """
 
 from repro.core import FileParams, WriteOp
+from repro.net import NetConfig
 from repro.testbed import build_core_cluster
+
+# per-tag counters are opt-in; these tests subtract heartbeat noise
+TAGS = NetConfig(tag_metrics=True)
 
 
 def _payload_msgs(cluster):
@@ -15,13 +19,13 @@ def _payload_msgs(cluster):
 
 
 def test_piggyback_off_by_default():
-    cluster = build_core_cluster(3)
+    cluster = build_core_cluster(3, net_config=TAGS)
     assert all(not s.token_piggyback for s in cluster.servers)
 
 
 def test_forwarded_single_write_does_not_move_token():
     """Optimization 2: the update travels; the token stays put."""
-    cluster = build_core_cluster(3)
+    cluster = build_core_cluster(3, net_config=TAGS)
     s0, s1 = cluster.servers[0], cluster.servers[1]
 
     async def main():
@@ -40,7 +44,7 @@ def test_forwarded_single_write_does_not_move_token():
 
 
 def test_forwarded_write_falls_back_when_holder_dead():
-    cluster = build_core_cluster(3)
+    cluster = build_core_cluster(3, net_config=TAGS)
     s0, s1 = cluster.servers[0], cluster.servers[1]
 
     async def main():
@@ -60,7 +64,7 @@ def test_forwarded_write_falls_back_when_holder_dead():
 
 
 def test_forwarded_write_version_advances_for_caller():
-    cluster = build_core_cluster(2)
+    cluster = build_core_cluster(2, net_config=TAGS)
     s0, s1 = cluster.servers[0], cluster.servers[1]
 
     async def main():
@@ -77,7 +81,7 @@ def test_forwarded_write_version_advances_for_caller():
 
 def test_piggyback_applies_update_at_all_replicas():
     """Optimization 1: the update rides the token request/pass."""
-    cluster = build_core_cluster(3)
+    cluster = build_core_cluster(3, net_config=TAGS)
     for server in cluster.servers:
         server.token_piggyback = True
     s0, s1 = cluster.servers[0], cluster.servers[1]
@@ -104,7 +108,7 @@ def test_piggyback_applies_update_at_all_replicas():
 def test_piggyback_saves_a_round():
     """First write from a non-holder: piggyback merges request+update."""
     def first_write_msgs(piggyback: bool) -> int:
-        cluster = build_core_cluster(3, seed=9)
+        cluster = build_core_cluster(3, seed=9, net_config=TAGS)
         for server in cluster.servers:
             server.token_piggyback = piggyback
         s0, s1 = cluster.servers[0], cluster.servers[1]
@@ -129,7 +133,7 @@ def test_piggyback_saves_a_round():
 
 def test_piggyback_preserves_subsequent_stream():
     """After the piggybacked head, the stream continues via the new holder."""
-    cluster = build_core_cluster(3)
+    cluster = build_core_cluster(3, net_config=TAGS)
     for server in cluster.servers:
         server.token_piggyback = True
     s0, s1 = cluster.servers[0], cluster.servers[1]

@@ -223,3 +223,48 @@ def test_metrics_report_filters_by_prefix():
     m.incr("deceit.updates")
     text = m.report("net.")
     assert "net.msgs" in text and "deceit" not in text
+
+
+def test_latency_stats_reservoir_caps_samples_keeps_exact_aggregates():
+    stats = LatencyStats()
+    n = LatencyStats.RESERVOIR_CAP * 2
+    for v in range(n):
+        stats.record(float(v))
+    assert stats.count == n                      # exact
+    assert stats.total == float(sum(range(n)))   # exact
+    assert (stats.minimum, stats.maximum) == (0.0, float(n - 1))
+    assert len(stats.samples) == LatencyStats.RESERVOIR_CAP  # bounded
+    # the reservoir is a fair-ish sample: the median of uniform 0..n-1
+    # stays near n/2 even though half the points were candidates-only
+    assert 0.3 * n < stats.percentile(50) < 0.7 * n
+
+
+def test_latency_stats_reservoir_is_deterministic():
+    a, b = LatencyStats(), LatencyStats()
+    for v in range(20_000):
+        a.record(float(v % 997))
+        b.record(float(v % 997))
+    assert a.samples == b.samples
+    assert a.percentile(50) == b.percentile(50)
+    assert a.percentile(99) == b.percentile(99)
+
+
+def test_latency_stats_cached_sort_invalidated_on_record():
+    stats = LatencyStats()
+    stats.record(10.0)
+    assert stats.percentile(50) == 10.0          # sorted view now cached
+    stats.record(1.0)
+    stats.record(2.0)
+    assert stats.percentile(0) == 1.0            # cache was invalidated
+    assert stats.percentile(100) == 10.0
+
+
+def test_latency_stats_absorb_respects_caps():
+    a, b = LatencyStats(), LatencyStats()
+    for v in range(100):
+        a.record(float(v))
+        b.record(float(v + 1000))
+    a.absorb(b, sample_cap=120)
+    assert a.count == 200 and len(a.samples) == 120
+    assert (a.minimum, a.maximum) == (0.0, 1099.0)
+    assert a.percentile(100) >= 1000.0           # absorbed samples visible

@@ -18,6 +18,7 @@ Three claims, measured in virtual time with pinned counters:
    bytes.
 """
 
+from repro.errors import NfsError
 from repro.testbed import build_cluster
 from benchmarks.conftest import run_once
 
@@ -46,7 +47,17 @@ def _shared_dir_storm(cluster):
 
         async def one_create(agent, i):
             t0 = kernel.now
-            await agent.create("/shared", f"f{i}")
+            try:
+                await agent.create("/shared", f"f{i}")
+            except NfsError:
+                # the whole-table path's retry storm can now exhaust the
+                # client's RPC budget outright: with honest §4 commit
+                # points every retried table write pays a real durable
+                # round, so contention compounds into client-visible
+                # failure — the extreme end of the badness this
+                # comparison exists to show
+                latencies.append(kernel.now - t0)
+                return
             latencies.append(kernel.now - t0)
 
         snap = m.snapshot()

@@ -1,6 +1,6 @@
 """Console entry point (``repro`` on the CLI).
 
-Two subcommands:
+Three subcommands:
 
 - ``repro`` / ``repro quickstart`` — the tour.  Mirrors
   ``examples/quickstart.py``: a three-server Deceit cell that creates a
@@ -11,6 +11,10 @@ Two subcommands:
   under :mod:`cProfile` and prints the top hotspots, so "what is the
   simulator spending its time on at N servers?" is one command instead
   of a scratch script.
+- ``repro restart-bench`` — one cold-restart cycle at a chosen size and
+  backend: populate, ``kill -9`` the cell, restart from the storage
+  backends alone, and print where the restart wall clock went.  The
+  quick interactive face of ``benchmarks/test_perf_restart.py``.
 """
 
 from __future__ import annotations
@@ -103,6 +107,30 @@ def profile(workload: str = "hotspot", n_servers: int = 16,
     return ps
 
 
+def restart_bench(backend: str = "journal", segments: int = 10_000,
+                  storage_dir: str | None = None) -> dict:
+    """One populate → kill -9 → cold-restart cycle; print the timings."""
+    import pathlib
+    import tempfile
+
+    from repro.restartbench import restart_cycle
+
+    root = pathlib.Path(storage_dir or tempfile.mkdtemp(prefix="deceit-"))
+    r = restart_cycle(backend, root, segments)
+    rep = r["replay"]
+    print(f"{backend} backend, {segments} segments on 4 servers:")
+    print(f"  populate          {r['populate_s']:8.2f} s")
+    print(f"  restart (replay + cold start) {r['restart_s']:8.3f} s")
+    print(f"  first mount+read  {r['first_read_s']:8.3f} s")
+    print(f"  restart-to-serving {r['to_serving_s']:7.3f} s "
+          f"({r['us_per_segment']:.1f} us/segment)")
+    if rep["records"]:
+        print(f"  journal replay    {rep['records'] / rep['wall_s']:,.0f} "
+              f"records/s, {rep['bytes'] / rep['wall_s'] / 1e6:.1f} MB/s")
+    print(f"  file groups resurrected: {r['resurrected']}")
+    return r
+
+
 def main(argv: list[str] | None = None) -> None:
     """``repro`` console script."""
     parser = argparse.ArgumentParser(
@@ -126,7 +154,21 @@ def main(argv: list[str] | None = None) -> None:
     prof.add_argument("--sort", default="cumulative",
                       choices=["cumulative", "tottime", "ncalls"],
                       help="pstats sort key (default: cumulative)")
+    rb = sub.add_parser(
+        "restart-bench",
+        help="time one kill -9 / cold-restart cycle of a populated cell")
+    rb.add_argument("--backend", default="journal",
+                    choices=["memory", "journal", "sqlite"],
+                    help="storage backend (default: journal)")
+    rb.add_argument("--segments", type=int, default=10_000,
+                    help="segments to populate cell-wide (default: 10000)")
+    rb.add_argument("--storage-dir", default=None,
+                    help="where backend files go (default: a temp dir)")
     args = parser.parse_args(argv)
+    if args.command == "restart-bench":
+        restart_bench(backend=args.backend, segments=args.segments,
+                      storage_dir=args.storage_dir)
+        return
     if args.command == "profile":
         profile(workload=args.workload, n_servers=args.servers,
                 n_agents=args.agents, duration_ms=args.duration_ms,

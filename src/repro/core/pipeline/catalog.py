@@ -121,22 +121,34 @@ class CatalogService:
             raise NoSuchSegment(sid)
         return cat
 
-    def resurrect(self, sid: str) -> SegmentCatalog:
-        """Recreate a file group from local non-volatile state (§3.6)."""
+    def resurrect(self, sid: str,
+                  records: dict[int, tuple[dict, dict | None]] | None = None
+                  ) -> SegmentCatalog:
+        """Recreate a file group from local non-volatile state (§3.6).
+
+        ``records`` (``major -> (replica record, token record)``) lets a
+        whole-disk cold start hand over prefetched records from one bulk
+        scan; without it each call re-scans the disk's key space for this
+        sid, which is fine for a single resurrect but quadratic across a
+        full cold start.
+        """
         me = self.membership.addr
         self.membership.create_group(group_of(sid))
         branches = HistoryIndex()
         majors: dict[int, MajorInfo] = {}
         params = DEFAULT_PARAMS
-        for major in self.store.disk_majors(sid):
-            record = self.store.replica_record_now(sid, major)
-            if record is None:
-                continue
+        if records is None:
+            records = {
+                major: (record, self.store.token_record_now(sid, major))
+                for major in self.store.disk_majors(sid)
+                if (record := self.store.replica_record_now(sid, major))
+                is not None
+            }
+        for major, (record, token_rec) in sorted(records.items()):
             replica = Replica.from_dict(record)
             self.store.replicas[(sid, major)] = replica
             branches.merge(replica.branches)
             params = replica.params
-            token_rec = self.store.token_record_now(sid, major)
             holder = None
             if token_rec is not None:
                 token = Token.from_dict(token_rec)

@@ -116,6 +116,7 @@ class RecoveryService:
             rel = cat.branches.compare(reference, other_info.version)
             if rel in (Relation.ANCESTOR, Relation.EQUAL):
                 await self.server._destroy_local_replica(sid, major)
+                self.store.tokens.pop((sid, major), None)
                 await self.store.delete_token_record(sid, major)
                 self.metrics.incr("deceit.obsolete_versions_destroyed")
                 if info is not None:
@@ -128,10 +129,11 @@ class RecoveryService:
         if info is not None:
             rel = cat.branches.compare(replica.version, info.version)
             if rel in (Relation.EQUAL, Relation.ANCESTOR):
-                if rel is Relation.ANCESTOR and info.holder is not None:
+                if rel is Relation.ANCESTOR and info.holder not in (None, me):
                     # Non-token replica crash: obsolete replica is destroyed;
                     # the history is a prefix of the token's, no update lost.
                     await self.server._destroy_local_replica(sid, major)
+                    self.store.tokens.pop((sid, major), None)
                     await self.store.delete_token_record(sid, major)
                     self.metrics.incr("deceit.obsolete_replicas_destroyed")
                     return
@@ -139,6 +141,18 @@ class RecoveryService:
                 info.holders.add(me)
                 await self._announce_major(sid, cat, major, replica)
                 if rel is Relation.ANCESTOR:
+                    # We are behind the group, so any token we recovered for
+                    # this major is stale — an acked update committed at a
+                    # peer but died with our volatile tail.  Minting writes
+                    # on it would fork the history past that update, so the
+                    # token is surrendered and the next write re-acquires
+                    # (or regenerates) from the caught-up state.
+                    if self.store.tokens.pop((sid, major), None) is not None \
+                            or token_rec is not None:
+                        await self.store.delete_token_record(sid, major)
+                        if info.holder == me:
+                            info.holder = None
+                        self.metrics.incr("deceit.stale_tokens_surrendered")
                     # behind but no live token: catch up from a holder
                     self.proc.spawn(self.server._repair_replica(sid, major),
                                     name=f"{me}:repair:{sid}")
@@ -161,6 +175,7 @@ class RecoveryService:
                 # Token crash scenario: the new version is a direct
                 # descendant of ours — destroy the old version.
                 await self.server._destroy_local_replica(sid, major)
+                self.store.tokens.pop((sid, major), None)
                 await self.store.delete_token_record(sid, major)
                 self.metrics.incr("deceit.obsolete_versions_destroyed")
                 return

@@ -138,6 +138,31 @@ class ReplicaStore:
         return sorted({key.split("/")[1] for key in self.kv.keys()
                        if key.startswith("rep/")})
 
+    def disk_record_map(self) -> dict[str, dict[int, tuple[dict, dict | None]]]:
+        """One pass over the whole ``seg/`` namespace:
+        ``sid -> major -> (replica record, token record or None)``.
+
+        Cold start resurrects every local segment; doing that with the
+        per-sid scans above is quadratic in the number of records (each
+        scan walks the whole key space), which turns a 100k-segment
+        restart from seconds into hours.  This bulk map costs one key walk
+        and one read per record.
+        """
+        out: dict[str, dict[int, list]] = {}
+        for key, value in self.kv.items_now():
+            parts = key.split("/")
+            if len(parts) != 3 or parts[0] not in ("rep", "tok"):
+                continue
+            kind, sid, major = parts[0], parts[1], int(parts[2])
+            slot = out.setdefault(sid, {}).setdefault(major, [None, None])
+            slot[0 if kind == "rep" else 1] = value
+        return {
+            sid: {major: (rep, tok)
+                  for major, (rep, tok) in sorted(majors.items())
+                  if rep is not None}
+            for sid, majors in sorted(out.items())
+        }
+
     def replica_record_now(self, sid: str, major: int) -> dict | None:
         return self.kv.get_now(self._rep_key(sid, major))
 

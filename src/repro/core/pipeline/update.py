@@ -78,6 +78,11 @@ UPDATE_REPLY_TIMEOUT_MS = 400.0
 _REPLAY = object()
 
 
+def _is_durable_reply(value) -> bool:
+    """Does this update reply attest a durably persisted copy?"""
+    return isinstance(value, dict) and bool(value.get("durable"))
+
+
 @dataclass
 class UpdateHooks:
     """Callbacks the write path needs from the token/stability/replication
@@ -184,8 +189,15 @@ class UpdatePipeline:
                 "wop": op.to_dict(), "version": new_version.to_tuple(),
                 "drop": drop,
             }
+            # The §4 commit point: a safety-s ack waits for s *durable*
+            # copies, so only replies that persisted the update count
+            # (cache-only members answer fast but keep nothing).  Capped
+            # by the replicas that can exist after this round — safety at
+            # or above the replica count means fully synchronous.
+            replica_targets = len(cat.majors[major].holders - set(drop))
             safety = min(cat.params.write_safety,
-                         len(self.transport.members(group_of(sid))))
+                         len(self.transport.members(group_of(sid))),
+                         max(1, replica_targets))
             self.metrics.incr("deceit.updates")
             if op.kind == "batch":
                 # several client writes riding one broadcast round
@@ -203,6 +215,7 @@ class UpdatePipeline:
                 size_bytes=max(256, len(op.data)),
                 tag="update",
                 on_audit=lambda replies: self.audit_update(sid, major, replies),
+                count_reply=_is_durable_reply,
             )
             token.version = new_version
             # async persist: on recovery the holder's replica (written with
@@ -357,7 +370,8 @@ class UpdatePipeline:
         if safety == 0:
             collector_fut.set_result(None)
         proc._collectors[req_id] = {
-            "fut": collector_fut, "replies": [], "want": max(safety, 1)}
+            "fut": collector_fut, "replies": [], "want": max(safety, 1),
+            "count": _is_durable_reply, "counted": 0}
         wait = self.kernel.create_future()
         token_waits = self.hooks.token_waits
         token_waits[(sid, major)] = wait
@@ -426,7 +440,9 @@ class UpdatePipeline:
         # persisting writes through the read cache: the old version's entry
         # is superseded by the new one (version-exact invalidation)
         await self.store.persist_replica(replica, sync=sync)
-        return {"ok": True, "have_replica": True,
+        # ``durable`` is truthful *because* the sync persist was awaited
+        # above: by the time this reply leaves, the record is committed
+        return {"ok": True, "have_replica": True, "durable": sync,
                 "version": version.to_tuple(), "read_ts": replica.read_ts}
 
     # ------------------------------------------------------------------ #

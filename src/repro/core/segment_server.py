@@ -506,6 +506,36 @@ class SegmentServer(TokenMixin, ReplicationMixin, StabilityMixin):
         """Rebuild from non-volatile state after a restart (§3.6)."""
         await self.recovery.recover()
 
+    def cold_start(self) -> int:
+        """Rebuild this server's entire segment state from disk alone.
+
+        The whole-cell restart path (§3.6 "total failure"): no live peer
+        exists to join, so every segment with a durable replica record is
+        resurrected locally — replicas, version pairs, stripe maps, and
+        directory tables all live in those records, and the token records
+        (at most one per major cell-wide, deleted-before-pass) decide
+        holdership.  Divergence between the per-server resurrected group
+        instances is reconciled afterwards through the RecoveryService
+        merge path, exactly like a partition heal.
+
+        Zero-latency and zero-RPC by design (superblock scans), so
+        restart-to-serving time is dominated by the backend replay that
+        happened when the disk opened.  Returns the number of segments
+        resurrected.
+        """
+        counter = self.store.counter_now()
+        if counter:
+            self.restore_counter(int(counter))
+        resurrected = 0
+        # one bulk scan instead of per-sid key walks: resurrecting a 100k
+        # segment disk must stay O(records), not O(records²)
+        for sid, records in self.store.disk_record_map().items():
+            if self.cat.get(sid) is None:
+                self.cat.resurrect(sid, records=records)
+                resurrected += 1
+        self.metrics.incr("deceit.cold_starts")
+        return resurrected
+
     def start_merge_audit(self) -> None:
         """Arm the periodic group-merge audit (see RecoveryService)."""
         self.recovery.start_merge_audit()

@@ -174,18 +174,20 @@ class TokenMixin:
             cat.majors[major].last_update_ts = self.kernel.now
         replica = self.replicas.get((sid, major))
         applied = False
+        durable = False
         if replica is not None and replica.version.sub + 1 == new_version.sub:
             op = WriteOp.from_dict(wop_dict)
             replica.data, replica.meta = op.apply(replica.data, replica.meta)
             replica.version = new_version
             replica.write_ts = self.kernel.now
-            await self._persist_replica(
-                replica, sync=replica.params.write_safety >= 1)
+            durable = replica.params.write_safety >= 1
+            await self._persist_replica(replica, sync=durable)
             applied = True
         if reply_req is not None and origin is not None:
             reply = {"type": "mreply", "req_id": reply_req,
                      "member": self.proc.addr,
-                     "value": {"ok": applied, "have_replica": replica is not None}}
+                     "value": {"ok": applied, "durable": durable,
+                               "have_replica": replica is not None}}
             if origin == self.proc.addr:
                 self.proc._on_mreply(reply)
             else:

@@ -274,6 +274,7 @@ class IsisProcess(Node):
         tag: str = "cbcast",
         on_audit=None,
         audit_timeout: float | None = None,
+        count_reply=None,
     ) -> list[tuple[str, Any]]:
         """Causally ordered multicast; collect the first ``nreplies`` replies.
 
@@ -281,6 +282,13 @@ class IsisProcess(Node):
         waits for every current member (or the timeout).  Returns
         ``[(member, reply_value), ...]`` in arrival order — the caller
         counts them (Deceit's replica-loss detection does exactly this).
+
+        ``count_reply`` (a predicate over the reply value) narrows *which*
+        replies satisfy ``nreplies``: every reply is still collected and
+        returned, but the early wait completes only once ``nreplies``
+        replies pass the predicate.  This is the write-safety commit point
+        — a safety-*s* ack must wait for *s* durable copies, and a cache
+        member's "got it, didn't persist it" reply must not count.
 
         ``on_audit`` keeps the reply collector alive after the early return
         and calls ``on_audit(all_replies)`` once ``audit_timeout`` (default:
@@ -302,7 +310,9 @@ class IsisProcess(Node):
             if want == 0:
                 collector_fut.set_result(None)  # early return is immediate
             self._collectors[req_id] = {
-                "fut": collector_fut, "replies": [], "want": want or len(view.members),
+                "fut": collector_fut, "replies": [],
+                "want": want or len(view.members),
+                "count": count_reply, "counted": 0,
             }
         vc = state.vc.copy()
         vc.increment(self.addr)
@@ -470,7 +480,12 @@ class IsisProcess(Node):
         if record is None:
             return  # late reply after collection closed
         record["replies"].append((payload["member"], payload["value"]))
-        if len(record["replies"]) >= record["want"]:
+        predicate = record.get("count")
+        if predicate is None:
+            record["counted"] = len(record["replies"])
+        elif predicate(payload["value"]):
+            record["counted"] = record.get("counted", 0) + 1
+        if record["counted"] >= record["want"]:
             record["fut"].try_set_result(None)
 
     # ------------------------------------------------------------------ #

@@ -30,7 +30,7 @@ from repro.net import Network
 from repro.nfs.attrs import FileAttrs, FileType
 from repro.nfs.envelope import GLOBAL_ROOT_SID, Envelope, placement_hint
 from repro.nfs.fhandle import FileHandle
-from repro.storage import Disk
+from repro.storage import Disk, KvStore, StorageBackend
 
 NFS_PROXY_TIMEOUT_MS = 2000.0
 
@@ -42,14 +42,17 @@ class DeceitServer:
                  rank: int, metrics: Metrics | None = None,
                  fd_timeout_ms: float = 200.0, placement_config=None,
                  fd_interval_ms: float = 50.0,
-                 merge_audit_interval_ms: float | None = None):
+                 merge_audit_interval_ms: float | None = None,
+                 backend: StorageBackend | None = None):
         self.addr = addr
         self.proc = IsisProcess(network, addr, cell_peers=cell_peers,
                                 fd_interval_ms=fd_interval_ms,
                                 fd_timeout_ms=fd_timeout_ms)
         self.kernel = self.proc.kernel
         self.metrics = metrics or network.metrics
-        self.disk = Disk(self.kernel, name=f"{addr}.disk", metrics=self.metrics)
+        self.disk = Disk(self.kernel, name=f"{addr}.disk",
+                         metrics=self.metrics, backend=backend)
+        self.env_kv = KvStore(self.disk, "env")
         self.segments = SegmentServer(
             self.proc, self.disk, rank, metrics=self.metrics,
             placement_config=placement_config,
@@ -83,6 +86,21 @@ class DeceitServer:
         return self.proc.spawn(self.segments.recover(),
                                name=f"{self.addr}:recover")
 
+    def cold_start(self) -> int:
+        """Rebuild everything from disk with no live peer (total failure).
+
+        The disk already replayed its backend when this server was
+        constructed; this resurrects every segment from the durable
+        records and restores the cell root handle so the server can
+        answer ``nfs_root`` immediately.  Returns the number of segments
+        resurrected.
+        """
+        resurrected = self.segments.cold_start()
+        root_sid = self.env_kv.get_now("root_sid")
+        if root_sid is not None:
+            self.envelope.set_root(FileHandle(sid=root_sid))
+        return resurrected
+
     async def bootstrap_namespace(self) -> FileHandle:
         """Create the cell's root directory tree (run once per cell).
 
@@ -104,7 +122,7 @@ class DeceitServer:
         meta["uplinks"] = []
         sid = await self.segments.create(params=root_params, data=data, meta=meta)
         root = FileHandle(sid=sid)
-        self.envelope.set_root(root)
+        self.set_root(root)
         priv, _attrs, _dirv = await self.envelope.mkdir(root, "priv")
         await self._add_global_entry(priv)
         return root
@@ -117,8 +135,14 @@ class DeceitServer:
         await self.envelope._update_dir(priv, add)
 
     def set_root(self, fh: FileHandle) -> None:
-        """Install the (already bootstrapped) cell root on this server."""
+        """Install the (already bootstrapped) cell root on this server.
+
+        The root sid is written to the ``env`` namespace durably (riding
+        the next group commit) so a cold restart can answer ``nfs_root``
+        from disk alone.
+        """
         self.envelope.set_root(fh)
+        self.env_kv.put("root_sid", fh.sid, sync=True)
 
     # ------------------------------------------------------------------ #
     # RPC entry points

@@ -9,9 +9,17 @@ in the asynchronous write-behind buffer does not.
   semantics and virtual-time latency.
 - :class:`~repro.storage.kvstore.KvStore` — namespaced, deep-copying view
   over a disk; what the segment server and NFS envelope actually use.
+- :mod:`~repro.storage.backend` — pluggable real-media durability behind
+  the disk: in-memory (default), an fsync'd append-only journal, or
+  sqlite.  What a whole-cell cold restart reads back.
 """
 
+from repro.storage.backend import (JournalBackend, MemoryBackend,
+                                   SqliteBackend, StorageBackend,
+                                   make_backend)
 from repro.storage.disk import Disk, DiskCrashed
 from repro.storage.kvstore import KvStore
 
-__all__ = ["Disk", "DiskCrashed", "KvStore"]
+__all__ = ["Disk", "DiskCrashed", "KvStore", "StorageBackend",
+           "MemoryBackend", "JournalBackend", "SqliteBackend",
+           "make_backend"]

@@ -29,6 +29,7 @@ from typing import Any
 
 from repro.metrics import Metrics
 from repro.sim import Kernel, SimFuture
+from repro.storage.backend import MemoryBackend, StorageBackend
 
 #: Sentinel marking a deletion (in commit batches and op resolution).
 _DELETE = object()
@@ -64,6 +65,7 @@ class Disk:
         flush_interval_ms: float = 500.0,
         metrics: Metrics | None = None,
         group_commit: bool = True,
+        backend: StorageBackend | None = None,
     ):
         self.kernel = kernel
         self.name = name
@@ -72,8 +74,12 @@ class Disk:
         self.flush_interval_ms = flush_interval_ms
         self.metrics = metrics or Metrics()
         self.group_commit = group_commit
+        # The backend mirrors the stable store on real media; opening a
+        # disk on a non-empty backend *is* the cold-start read of the
+        # superblock — everything the previous incarnation committed.
+        self.backend = backend if backend is not None else MemoryBackend()
         self._seq = itertools.count(1)          # issue order of every op
-        self._stable: dict[str, Any] = {}
+        self._stable: dict[str, Any] = self.backend.load()
         self._stable_seq: dict[str, int] = {}   # seq of last op applied
         self._buffer: dict[str, tuple[int, Any]] = {}
         self._deleted_buffer: dict[str, int] = {}
@@ -87,6 +93,9 @@ class Disk:
         self._serial_pending: list[
             tuple[Any, list[tuple[str, Any, int]], SimFuture]] = []
         self._serial_free_at = 0.0
+        # fsync() callers whose commit has not fired yet: a crash must fail
+        # these futures too, not just the per-write ones
+        self._sync_waiters: list[tuple[Any, SimFuture]] = []
 
     # ------------------------------------------------------------------ #
     # write path
@@ -174,17 +183,23 @@ class Disk:
         if not batches:
             return
         size = 0
+        effective: dict[str, Any] = {}
         for records, done in batches:
-            self._apply_records(records)
+            self._apply_records(records, effective)
             size += len(records)
             done.try_set_result(None)
+        # one backend commit per group-commit window: every batch that rode
+        # this platter operation becomes durable together, atomically
+        self._mirror_to_backend(effective)
         self.metrics.incr("disk.commits")
         self.metrics.incr("disk.commit_records", size)
         self.metrics.latency("disk.commit_batch_size").record(float(size))
 
     def _commit_one(self, records: list[tuple[str, Any, int]],
                     done: SimFuture) -> None:
-        self._apply_records(records)
+        effective: dict[str, Any] = {}
+        self._apply_records(records, effective)
+        self._mirror_to_backend(effective)
         self.metrics.incr("disk.commits")
         self.metrics.incr("disk.commit_records", len(records))
         self.metrics.latency("disk.commit_batch_size").record(float(len(records)))
@@ -193,9 +208,11 @@ class Disk:
         if self._serial_pending and self._serial_pending[0][2] is done:
             self._serial_pending.pop(0)
 
-    def _apply_records(self, records: list[tuple[str, Any, int]]) -> None:
+    def _apply_records(self, records: list[tuple[str, Any, int]],
+                       effective: dict[str, Any] | None = None) -> None:
         for key, value, seq in records:
-            self._apply_to_stable(key, value, seq)
+            if self._apply_to_stable(key, value, seq) and effective is not None:
+                effective[key] = value
             buffered = self._buffer.get(key)
             if buffered is not None and buffered[0] < seq:
                 del self._buffer[key]
@@ -203,16 +220,29 @@ class Disk:
             if deleted is not None and deleted < seq:
                 del self._deleted_buffer[key]
 
-    def _apply_to_stable(self, key: str, value: Any, seq: int) -> None:
+    def _apply_to_stable(self, key: str, value: Any, seq: int) -> bool:
         """Issue-ordered write to the durable store: an op never clobbers
-        the effect of a later-issued one that already landed."""
+        the effect of a later-issued one that already landed.  Returns
+        whether the op took effect (and so must reach the backend)."""
         if seq <= self._stable_seq.get(key, 0):
-            return
+            return False
         self._stable_seq[key] = seq
         if value is _DELETE:
             self._stable.pop(key, None)
         else:
             self._stable[key] = value
+        return True
+
+    def _mirror_to_backend(self, effective: dict[str, Any]) -> None:
+        """Forward one committed window to the durability backend as one
+        atomic batch — the backend's contents equal ``_stable`` at every
+        commit boundary."""
+        if not effective:
+            return
+        puts = [(key, value) for key, value in effective.items()
+                if value is not _DELETE]
+        dels = [key for key, value in effective.items() if value is _DELETE]
+        self.backend.commit(puts, dels)
 
     def _arm_flusher(self) -> None:
         if self._flusher_scheduled:
@@ -225,22 +255,36 @@ class Disk:
         if not self._buffer and not self._deleted_buffer:
             return
         self.metrics.incr("disk.flushes")
+        effective: dict[str, Any] = {}
         for key, (seq, value) in self._buffer.items():
-            self._apply_to_stable(key, value, seq)
+            if self._apply_to_stable(key, value, seq):
+                effective[key] = value
         for key, seq in self._deleted_buffer.items():
-            self._apply_to_stable(key, _DELETE, seq)
+            if self._apply_to_stable(key, _DELETE, seq):
+                effective[key] = _DELETE
         self._buffer.clear()
         self._deleted_buffer.clear()
+        self._mirror_to_backend(effective)
 
     def sync(self) -> SimFuture:
-        """Force all buffered writes durable (an ``fsync``)."""
+        """Force all buffered writes durable (an ``fsync``).
+
+        The returned future fails with :class:`DiskCrashed` if a crash
+        destroys the buffered data before the commit fires — the caller
+        must not mistake "the crash emptied the buffer" for durability.
+        """
         done = self.kernel.create_future()
+        entry = None
 
         def _commit() -> None:
+            if entry in self._sync_waiters:
+                self._sync_waiters.remove(entry)
             self._flush()
             done.try_set_result(None)
 
-        self.kernel.schedule(self.write_ms, _commit)
+        handle = self.kernel.schedule(self.write_ms, _commit)
+        entry = (handle, done)
+        self._sync_waiters.append(entry)
         return done
 
     # ------------------------------------------------------------------ #
@@ -335,6 +379,15 @@ class Disk:
         for _handle, _records, done in serial:
             done.try_set_exception(
                 DiskCrashed(f"{self.name}: crashed before commit"))
+        waiters, self._sync_waiters = self._sync_waiters, []
+        for handle, done in waiters:
+            handle.cancel()
+            done.try_set_exception(
+                DiskCrashed(f"{self.name}: crashed before fsync"))
+
+    def close(self) -> None:
+        """Release backend resources (file descriptors, connections)."""
+        self.backend.close()
 
     @property
     def stable_keys(self) -> int:

@@ -22,7 +22,7 @@ from repro.net import (LanWanLatency, LatencyModel, NetConfig, Network,
                        UniformLatency)
 from repro.nfs import DeceitServer, FileHandle
 from repro.sim import Kernel
-from repro.storage import Disk
+from repro.storage import Disk, StorageBackend, make_backend
 
 
 @dataclass
@@ -130,6 +130,9 @@ class Cluster:
     servers: list[DeceitServer]
     agents: list[Agent]
     root: FileHandle
+    build_args: dict = field(default_factory=dict)
+    incarnation: int = 0
+    killed: bool = False
 
     def run(self, awaitable, limit: float = 600_000.0):
         """Drive the simulation until ``awaitable`` resolves."""
@@ -167,6 +170,88 @@ class Cluster:
     def close(self) -> None:
         """End the simulation: drop queued events, close un-run tasks."""
         self.kernel.shutdown()
+        for server in self.servers:
+            server.disk.close()
+
+    # ------------------------------------------------------------------ #
+    # whole-cell kill / cold restart
+    # ------------------------------------------------------------------ #
+
+    def kill(self) -> None:
+        """``kill -9`` the whole cell mid-flight.
+
+        The kernel dies where it stands — queued events, open group-commit
+        windows, unflushed write-behind buffers, and every other volatile
+        structure are lost.  Only the storage backends survive, holding
+        exactly what the last completed commit made durable, the way a
+        machine-room power cut would leave them.
+        """
+        if self.killed:
+            return
+        self.killed = True
+        self.kernel.shutdown()
+        for server in self.servers:
+            server.disk.close()
+
+    def restart(self, settle_ms: float = 2000.0,
+                reconcile: bool = True) -> "Cluster":
+        """Whole-cell cold restart from durable state (§3.6 total failure).
+
+        Kills whatever is left of the old incarnation, reopens every
+        storage backend (replaying journals), rebuilds a fresh kernel /
+        network / cell over them with bootstrap skipped, cold-starts every
+        server from its own disk, and — unless ``reconcile=False`` — drives
+        the recovery merge so divergent majors reconcile before control
+        returns.  Mutates this Cluster in place (fresh agents included) and
+        returns it, so ``cluster.kill(); cluster.restart()`` reads like the
+        operational procedure it models.  Only single-cell clusters built
+        by :func:`build_cluster` can restart (``build_cells`` cells share
+        one kernel).
+        """
+        if not self.build_args:
+            raise RuntimeError("restart() needs a build_cluster()-built cell")
+        if not self.killed:
+            self.kill()
+        self.incarnation += 1
+        a = self.build_args
+        backends = [server.disk.backend.reopen() for server in self.servers]
+        kernel = Kernel()
+        network = Network(
+            kernel, latency=a.get("latency") or UniformLatency(1.0, 3.0),
+            seed=a.get("seed", 0) + 7919 * self.incarnation,
+            metrics=self.metrics, config=a.get("net_config"))
+        fresh = _build_cell(
+            kernel, network, self.metrics, len(self.servers),
+            len(self.agents), a.get("agent_config"),
+            a.get("fd_timeout_ms", 200.0), a.get("cell", ""),
+            rebalance=a.get("rebalance", False),
+            placement=a.get("placement"),
+            namespace_dirops=a.get("namespace_dirops", True),
+            fd_interval_ms=a.get("fd_interval_ms", 50.0),
+            merge_audit_interval_ms=a.get("merge_audit_interval_ms"),
+            scatter_agents=a.get("scatter_agents", False),
+            backends=backends, bootstrap=False)
+        self.kernel, self.network = fresh.kernel, fresh.network
+        self.servers, self.agents = fresh.servers, fresh.agents
+        self.root = fresh.root
+        self.killed = False
+        if reconcile:
+            self.reconcile(settle_ms=settle_ms)
+        return self
+
+    def reconcile(self, settle_ms: float = 2000.0) -> None:
+        """Drive every server's recovery merge to completion.
+
+        Deterministic address order: for each file group, the instances
+        whose coordinator address is larger dissolve into the smallest
+        one, so a single pass per server converges the cell.  A settle
+        window afterwards lets the spawned replica repairs land.
+        """
+        async def _merge():
+            for server in self.servers:
+                await server.segments.recovery.merge_after_heal()
+        self.kernel.run_until_complete(_merge(), limit=600_000.0)
+        self.settle(settle_ms)
 
 
 def build_cluster(
@@ -184,6 +269,9 @@ def build_cluster(
     fd_interval_ms: float = 50.0,
     merge_audit_interval_ms: float | None = None,
     scatter_agents: bool = False,
+    backend: str = "memory",
+    storage_dir: str | None = None,
+    backends: list[StorageBackend] | None = None,
 ) -> Cluster:
     """Stand up a full Deceit cell with a bootstrapped namespace.
 
@@ -196,18 +284,44 @@ def build_cluster(
     ``namespace_dirops=False`` drops every envelope back to the seed's
     whole-table optimistic directory transactions — the baseline the
     namespace benchmark measures against.
+
+    ``backend`` selects each server's durable store: ``"memory"`` (the
+    default — state survives :meth:`Cluster.restart` but not the process),
+    ``"journal"`` (append-only fsync'd log file, replayed on open), or
+    ``"sqlite"``.  File-backed kinds need ``storage_dir``; each server gets
+    ``<storage_dir>/<addr>.<ext>``.  Pre-built ``backends`` (one per
+    server, e.g. reopened from a previous incarnation) override both.
     """
     kernel = Kernel()
     metrics = Metrics()
     network = Network(kernel, latency=latency or UniformLatency(1.0, 3.0),
                       seed=seed, metrics=metrics, config=net_config)
+    if backends is None and backend != "memory":
+        if storage_dir is None:
+            raise ValueError(f"backend={backend!r} needs storage_dir=")
+        import os
+        os.makedirs(storage_dir, exist_ok=True)
+        ext = {"journal": "journal", "sqlite": "db"}[backend]
+        prefix = f"{cell}." if cell else ""
+        backends = [
+            make_backend(backend,
+                         path=os.path.join(storage_dir, f"{prefix}s{i}.{ext}"))
+            for i in range(n_servers)
+        ]
     cluster = _build_cell(kernel, network, metrics, n_servers, n_agents,
                           agent_config, fd_timeout_ms, cell,
                           rebalance=rebalance, placement=placement,
                           namespace_dirops=namespace_dirops,
                           fd_interval_ms=fd_interval_ms,
                           merge_audit_interval_ms=merge_audit_interval_ms,
-                          scatter_agents=scatter_agents)
+                          scatter_agents=scatter_agents, backends=backends)
+    cluster.build_args = dict(
+        latency=latency, seed=seed, agent_config=agent_config,
+        fd_timeout_ms=fd_timeout_ms, cell=cell, rebalance=rebalance,
+        placement=placement, namespace_dirops=namespace_dirops,
+        net_config=net_config, fd_interval_ms=fd_interval_ms,
+        merge_audit_interval_ms=merge_audit_interval_ms,
+        scatter_agents=scatter_agents)
     return cluster
 
 
@@ -259,7 +373,8 @@ def _build_cell(kernel, network, metrics, n_servers, n_agents,
                 rebalance=False, placement=None,
                 namespace_dirops=True, fd_interval_ms=50.0,
                 merge_audit_interval_ms=None,
-                scatter_agents=False) -> Cluster:
+                scatter_agents=False, backends=None,
+                bootstrap=True) -> Cluster:
     prefix = f"{cell}." if cell else ""
     addrs = [f"{prefix}s{i}" for i in range(n_servers)]
     servers = [
@@ -267,7 +382,8 @@ def _build_cell(kernel, network, metrics, n_servers, n_agents,
                      metrics=metrics, fd_timeout_ms=fd_timeout_ms,
                      placement_config=placement,
                      fd_interval_ms=fd_interval_ms,
-                     merge_audit_interval_ms=merge_audit_interval_ms)
+                     merge_audit_interval_ms=merge_audit_interval_ms,
+                     backend=backends[rank] if backends else None)
         for rank, addr in enumerate(addrs)
     ]
     for server in servers:
@@ -276,10 +392,19 @@ def _build_cell(kernel, network, metrics, n_servers, n_agents,
         server.start()
         if rebalance:
             server.segments.placement.start()
-    root = kernel.run_until_complete(servers[0].bootstrap_namespace(),
-                                     limit=120_000.0)
-    for server in servers[1:]:
-        server.set_root(root)
+    if bootstrap:
+        root = kernel.run_until_complete(servers[0].bootstrap_namespace(),
+                                         limit=120_000.0)
+        for server in servers[1:]:
+            server.set_root(root)
+    else:
+        # cold restart: every server rebuilds from its own disk alone
+        for server in servers:
+            server.cold_start()
+        root = servers[0].envelope.root_fh
+        if root is None:
+            raise RuntimeError(
+                "cold start found no durable root handle on server 0")
     agents = [
         Agent(network, f"{prefix}c{i}", servers=addrs, config=agent_config)
         for i in range(n_agents)

@@ -163,6 +163,55 @@ def test_agent_survives_total_then_partial_outage():
     assert cluster.run(main(), limit=3_000_000.0) == b"persistent"
 
 
+def test_cold_restart_during_regeneration_still_converges(tmp_path):
+    """Crash one member, then ``kill -9`` the whole cell while replica
+    regeneration is still in flight.  The cold-restarted cell must end up
+    with the file at full replica level again: the rebalancer picks up
+    where the dead regeneration left off, and a half-transferred replica
+    either completed durably or vanished — it never counts."""
+    cluster = build_cluster(n_servers=4, n_agents=1, seed=17,
+                            backend="journal",
+                            storage_dir=str(tmp_path / "regen"),
+                            rebalance=True)
+    agent = cluster.agents[0]
+
+    async def setup():
+        await agent.mount()
+        await agent.create("/", "f")
+        await agent.write_file("/f", b"replicated payload")
+        await agent.set_params("/f", min_replicas=3)
+        fh = await agent.lookup_path("/f")
+        return fh.sid
+
+    sid = cluster.run(setup())
+    cluster.settle(500.0)           # three replicas placed
+    cluster.crash(1)                # one holder gone: level drops below 3
+    cluster.settle(100.0)
+
+    async def trigger_regen():      # re-assert the level: replenish starts
+        await agent.set_params("/f", min_replicas=3)
+
+    cluster.kernel.spawn(trigger_regen())
+    cluster.kernel.run(until=cluster.kernel.now + 6.0)  # transfer in flight
+    cluster.kill()
+    cluster.restart()
+    cluster.settle(8000.0)          # rebalancer passes + repairs land
+
+    async def verify():
+        reads = []
+        for server in cluster.servers:
+            result = await server.segments.read(sid)
+            reads.append(result.data)
+        return reads
+
+    reads = cluster.run(verify(), limit=2_000_000.0)
+    assert all(r == b"replicated payload" for r in reads)
+    durable = sum(1 for server in cluster.servers
+                  if server.segments.store.disk_majors(sid))
+    assert durable >= 3, f"only {durable} durable replicas after restart"
+    cluster.close()
+
+
 def test_partition_during_replica_generation_is_clean():
     """A partition cutting off the transfer target mid-replenish leaves no
     half-installed replica visible to reads."""

@@ -65,7 +65,7 @@ class StubTransport(StubMembership):
         return (self.addr,)
 
     async def cbcast(self, group, payload, nreplies=0, timeout=None,
-                     size_bytes=0, tag="", on_audit=None):
+                     size_bytes=0, tag="", on_audit=None, count_reply=None):
         self.casts.append(payload)
         if on_audit is not None:
             self.audits.append(on_audit)

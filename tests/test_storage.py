@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.storage import Disk, KvStore
+from repro.storage import Disk, DiskCrashed, KvStore
 from tests.conftest import run
 
 
@@ -54,6 +54,42 @@ def test_explicit_sync_makes_buffered_durable(kernel):
     disk = Disk(kernel, flush_interval_ms=10_000.0)
 
     async def main():
+        await disk.write("k", "v", sync=False)
+        await disk.sync()
+        disk.crash()
+        return await disk.read("k")
+
+    assert run(kernel, main()) == "v"
+
+
+def test_sync_future_fails_on_crash(kernel):
+    """Regression: a crash between ``sync()`` and its commit used to leave
+    the returned future pending forever — the caller hung instead of
+    learning its fsync died.  The crash must fail every in-flight sync."""
+    disk = Disk(kernel, flush_interval_ms=10_000.0)
+
+    async def main():
+        await disk.write("k", "v", sync=False)
+        first, second = disk.sync(), disk.sync()
+        disk.crash()
+        with pytest.raises(DiskCrashed):
+            await first
+        with pytest.raises(DiskCrashed):
+            await second
+        return await disk.read("k")
+
+    assert run(kernel, main()) is None  # the buffered write died with it
+
+
+def test_sync_after_crash_still_works(kernel):
+    """A crash only kills in-flight syncs; the disk keeps serving."""
+    disk = Disk(kernel, flush_interval_ms=10_000.0)
+
+    async def main():
+        fut = disk.sync()
+        disk.crash()
+        with pytest.raises(DiskCrashed):
+            await fut
         await disk.write("k", "v", sync=False)
         await disk.sync()
         disk.crash()

@@ -7,7 +7,7 @@ Also shows the disk-space cost — the reason §6.2 turns it off for huge
 files.
 """
 
-from repro.core import FileParams, WriteOp
+from repro.core import FileParams
 from repro.testbed import build_core_cluster
 from benchmarks.conftest import run_once
 

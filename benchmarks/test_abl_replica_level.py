@@ -6,7 +6,6 @@ unavailable for reading, but file updates become more expensive" (§1).
 """
 
 from repro.core import FileParams, WriteOp
-from repro.errors import ReplicaUnavailable
 from repro.net import NetConfig
 from repro.testbed import build_core_cluster
 from benchmarks.conftest import run_once

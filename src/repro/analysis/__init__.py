@@ -1,0 +1,32 @@
+"""Determinism tooling: static analysis, runtime guard, divergence bisection.
+
+The simulator's correctness evidence rests on one contract: **two same-seed
+runs are byte-identical** — same event order, same RNG draws, same metrics,
+same snapshots.  This package enforces and debugs that contract:
+
+- :mod:`repro.analysis.detlint` — an AST linter over ``src/repro/`` that
+  flags code which can break the contract (wall-clock reads, global RNG
+  use, OS entropy, ``id()``-as-ordering, unordered dict/set iteration
+  feeding event scheduling).  ``repro detlint src/`` on the CLI.
+- :mod:`repro.analysis.guard` — :class:`DeterminismGuard`, an opt-in
+  runtime tripwire (``build_cluster(det_guard=True)``) that makes the
+  forbidden global entropy sources *raise* while the kernel is dispatching
+  events.
+- :mod:`repro.analysis.witness` — :class:`WitnessRecorder`, a per-event
+  rolling hash chain the kernel folds each dispatched event into (off by
+  default; one ``is None`` test per event when off).
+- :mod:`repro.analysis.detcheck` — run a seeded workload twice, compare
+  witness chains, and binary-search checkpointed prefixes to name the
+  *first divergent event*.  ``repro detcheck`` on the CLI.
+"""
+
+from repro.analysis.detlint import (RULES, Violation, format_violations,
+                                    lint_paths, lint_source)
+from repro.analysis.guard import DeterminismError, DeterminismGuard
+from repro.analysis.witness import WitnessRecorder
+from repro.analysis.detcheck import detcheck
+
+__all__ = [
+    "RULES", "Violation", "format_violations", "lint_paths", "lint_source",
+    "DeterminismError", "DeterminismGuard", "WitnessRecorder", "detcheck",
+]

@@ -1,6 +1,6 @@
 """Console entry point (``repro`` on the CLI).
 
-Three subcommands:
+Subcommands:
 
 - ``repro`` / ``repro quickstart`` — the tour.  Mirrors
   ``examples/quickstart.py``: a three-server Deceit cell that creates a
@@ -15,6 +15,16 @@ Three subcommands:
   backend: populate, ``kill -9`` the cell, restart from the storage
   backends alone, and print where the restart wall clock went.  The
   quick interactive face of ``benchmarks/test_perf_restart.py``.
+- ``repro detlint`` — the determinism-contract linter
+  (:mod:`repro.analysis.detlint`): flags host-clock reads, global RNG
+  use, OS entropy, id()-ordering, and unordered dict/set iteration
+  that feeds scheduling, in sim-domain sources.  Exits non-zero on any
+  unsuppressed violation, so it gates in CI.
+- ``repro detcheck`` — run a seeded workload twice with a witness hash
+  chain attached and compare (:mod:`repro.analysis.detcheck`); on
+  divergence, binary-search the checkpoints and name the first
+  divergent event.  ``--inject-fault`` plants a controlled divergence
+  to demo/exercise the bisector.
 """
 
 from __future__ import annotations
@@ -164,7 +174,48 @@ def main(argv: list[str] | None = None) -> None:
                     help="segments to populate cell-wide (default: 10000)")
     rb.add_argument("--storage-dir", default=None,
                     help="where backend files go (default: a temp dir)")
+    dl = sub.add_parser(
+        "detlint",
+        help="lint sim-domain sources against the determinism contract")
+    dl.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to lint (default: src)")
+    dl.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    dc = sub.add_parser(
+        "detcheck",
+        help="run a seeded workload twice and bisect any divergence")
+    dc.add_argument("--workload", default="hotspot",
+                    choices=["hotspot", "zipf", "baseline", "streaming"],
+                    help="named workload mix (default: hotspot)")
+    dc.add_argument("--servers", type=int, default=16,
+                    help="cell size (default: 16)")
+    dc.add_argument("--agents", type=int, default=8,
+                    help="client agents (default: 8)")
+    dc.add_argument("--duration-ms", type=float, default=2_000.0,
+                    help="virtual workload duration (default: 2000)")
+    dc.add_argument("--seed", type=int, default=42)
+    dc.add_argument("--checkpoint-interval", type=int, default=1024,
+                    help="events per witness checkpoint (default: 1024)")
+    dc.add_argument("--inject-fault", type=int, default=None, metavar="N",
+                    help="steal one RNG draw before event N in run 2 "
+                         "(a controlled divergence, to exercise the "
+                         "bisector)")
     args = parser.parse_args(argv)
+    if args.command == "detlint":
+        from repro.analysis import detlint
+        lint_args = list(args.paths or ["src"])
+        if args.list_rules:
+            lint_args.append("--list-rules")
+        raise SystemExit(detlint.main(lint_args))
+    if args.command == "detcheck":
+        from repro.analysis.detcheck import detcheck, format_report
+        report = detcheck(workload=args.workload, n_servers=args.servers,
+                          n_agents=args.agents, duration_ms=args.duration_ms,
+                          seed=args.seed,
+                          checkpoint_interval=args.checkpoint_interval,
+                          inject_fault_at=args.inject_fault)
+        print(format_report(report))
+        raise SystemExit(0 if report["identical"] else 1)
     if args.command == "restart-bench":
         restart_bench(backend=args.backend, segments=args.segments,
                       storage_dir=args.storage_dir)

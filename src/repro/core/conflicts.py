@@ -13,7 +13,7 @@ it as an invisible control file.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 CONFLICT_GROUP = "deceit:conflicts"
 

@@ -110,7 +110,7 @@ class RecoveryService:
         if info is not None and info.version.major == major and \
                 info.version.sub > reference.sub:
             reference = info.version
-        for other, other_info in list(cat.majors.items()):
+        for other, other_info in sorted(cat.majors.items()):
             if other == major:
                 continue
             rel = cat.branches.compare(reference, other_info.version)

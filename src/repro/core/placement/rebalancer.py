@@ -364,7 +364,7 @@ class Rebalancer:
                 continue  # a missing report already reads as cold
             reports.setdefault(holder, []).append(
                 {"sid": sid, "major": major, "rate": rate})
-        for holder, entries in reports.items():
+        for holder, entries in sorted(reports.items()):
             if not proc.network.reachable(me, holder):
                 continue
             try:

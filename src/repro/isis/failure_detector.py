@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.net import Network, Node
+from repro.net import Node
 from repro.net.message import Message
 
 

@@ -151,7 +151,7 @@ class IsisProcess(Node):
         data, token state, and the handle map are non-volatile)."""
         self.groups.clear()
         self._collectors.clear()
-        for fut in self._join_waits.values():
+        for _group, fut in sorted(self._join_waits.items()):
             fut.try_set_exception(GroupNotFound("crashed while joining"))
         self._join_waits.clear()
         self.fd.stop()
@@ -708,7 +708,7 @@ class IsisProcess(Node):
     # ------------------------------------------------------------------ #
 
     def _on_peer_suspected(self, peer: str) -> None:
-        for group, state in list(self.groups.items()):
+        for group, state in sorted(self.groups.items()):
             view = state.view
             if peer not in view.members:
                 continue

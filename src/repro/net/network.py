@@ -25,7 +25,7 @@ from repro.errors import RpcTimeout, Unreachable
 from repro.metrics import Metrics
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message, MsgKind, payload_size
-from repro.sim import Kernel, SimFuture, SimTimeoutError
+from repro.sim import Kernel, SimFuture
 
 DEFAULT_RPC_TIMEOUT_MS = 200.0
 
@@ -267,7 +267,7 @@ class Node:
         for task in tasks:
             task.cancel()
         pending, self._pending_rpcs = self._pending_rpcs, {}
-        for fut in pending.values():
+        for _req_id, fut in sorted(pending.items()):
             fut.try_set_exception(Unreachable(f"{self.addr} crashed with RPC pending"))
         self.network.metrics.incr("node.crashes")
         self.on_crash()

@@ -73,8 +73,8 @@ def _install_scoped_unawaited_filter() -> None:
             return
         original(coro)
 
-    _scoped._repro_scoped = True
-    warnings._warn_unawaited_coroutine = _scoped
+    _scoped._repro_scoped = True  # type: ignore[attr-defined]
+    warnings._warn_unawaited_coroutine = _scoped  # type: ignore[attr-defined]
 
 
 _install_scoped_unawaited_filter()
@@ -317,6 +317,27 @@ class Kernel:
         self._seq = itertools.count()
         self._events_processed = 0
         self._cancelled = 0  # dead events still sitting in queue or fifo
+        #: witness hash chain (repro.analysis.witness); None = off, and the
+        #: dispatch loops pay exactly one `is None` test per event
+        self._witness: Any = None
+        #: determinism guard (repro.analysis.guard) engaged around dispatch
+        self._det_guard: Any = None
+
+    def set_witness(self, witness: Any) -> None:
+        """Attach (or detach, with ``None``) a per-event witness recorder.
+
+        The recorder's ``fold_event(when, seq, fn, args)`` is called after
+        every dispatched event.  Off by default; attach before running.
+        """
+        self._witness = witness
+
+    def set_det_guard(self, guard: Any) -> None:
+        """Attach a :class:`~repro.analysis.guard.DeterminismGuard`.
+
+        While :meth:`run` / :meth:`run_until_complete` dispatch events the
+        guard is engaged, so patched global entropy sources raise.
+        """
+        self._det_guard = guard
 
     # ------------------------------------------------------------------ #
     # scheduling primitives
@@ -522,36 +543,52 @@ class Kernel:
         fires without re-checking the bound.
         """
         processed = 0
-        while True:
-            when = self._peek_when()
-            if when is None:
-                if until is not None and until > self.now:
-                    self.now = until
-                break
-            if until is not None and when > until:
-                self.now = until
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            # same-timestamp batch: deliver every event at `when` (including
-            # zero-delay events the callbacks add) without another bound check
-            self.now = when
+        witness = self._witness
+        guard = self._det_guard
+        engaged_before = False
+        if guard is not None:
+            engaged_before = guard.engaged
+            guard.engaged = True
+        try:
             while True:
-                event = self._next_live()
-                if event is None:
+                when = self._peek_when()
+                if when is None:
+                    if until is not None and until > self.now:
+                        self.now = until
                     break
-                if event.when != when:
-                    # overshot into the next timestamp: put it back un-run
-                    heapq.heappush(self._queue, (event.when, event.seq, event))
+                if until is not None and when > until:
+                    self.now = until
                     break
-                event.fn(*event.args)
-                # mark fired so a later handle.cancel() (RPC replies cancel
-                # their own just-fired timeout) cannot skew the dead count
-                event.cancelled = True
-                processed += 1
-                self._events_processed += 1
                 if max_events is not None and processed >= max_events:
                     break
+                # same-timestamp batch: deliver every event at `when`
+                # (including zero-delay events the callbacks add) without
+                # another bound check
+                self.now = when
+                while True:
+                    event = self._next_live()
+                    if event is None:
+                        break
+                    if event.when != when:
+                        # overshot into the next timestamp: put it back un-run
+                        heapq.heappush(self._queue,
+                                       (event.when, event.seq, event))
+                        break
+                    event.fn(*event.args)
+                    if witness is not None:
+                        witness.fold_event(when, event.seq,
+                                           event.fn, event.args)
+                    # mark fired so a later handle.cancel() (RPC replies
+                    # cancel their own just-fired timeout) cannot skew the
+                    # dead count
+                    event.cancelled = True
+                    processed += 1
+                    self._events_processed += 1
+                    if max_events is not None and processed >= max_events:
+                        break
+        finally:
+            if guard is not None:
+                guard.engaged = engaged_before
         return processed
 
     def run_until_complete(self, awaitable: Awaitable, limit: float | None = None) -> Any:
@@ -567,6 +604,20 @@ class Kernel:
         # long scale run pumps millions of events through here
         queue, fifo = self._queue, self._fifo
         heappop = heapq.heappop
+        witness = self._witness
+        guard = self._det_guard
+        engaged_before = False
+        if guard is not None:
+            engaged_before = guard.engaged
+            guard.engaged = True
+        try:
+            return self._drive(fut, limit, queue, fifo, heappop, witness)
+        finally:
+            if guard is not None:
+                guard.engaged = engaged_before
+
+    def _drive(self, fut: SimFuture, limit: float | None, queue, fifo,
+               heappop, witness) -> Any:
         while not fut._done:
             while fifo and fifo[0].cancelled:
                 fifo.popleft()
@@ -600,6 +651,9 @@ class Kernel:
                     f"({self.live_events} live events)")
             self.now = event.when
             event.fn(*event.args)
+            if witness is not None:
+                witness.fold_event(event.when, event.seq,
+                                   event.fn, event.args)
             event.cancelled = True  # fired; see note in run()
             self._events_processed += 1
         return fut.result()

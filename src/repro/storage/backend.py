@@ -31,7 +31,7 @@ import pickle
 import sqlite3
 import struct
 import zlib
-from typing import Any, Iterable
+from typing import Any
 
 #: Journal frame: MAGIC + little-endian (crc32, payload length).
 JOURNAL_MAGIC = b"DJL1"

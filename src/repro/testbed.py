@@ -10,7 +10,6 @@ Used by the examples, the test suite, and every benchmark.  Two levels:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro.agent import Agent, AgentConfig
@@ -133,6 +132,7 @@ class Cluster:
     build_args: dict = field(default_factory=dict)
     incarnation: int = 0
     killed: bool = False
+    det_guard: object | None = None
 
     def run(self, awaitable, limit: float = 600_000.0):
         """Drive the simulation until ``awaitable`` resolves."""
@@ -172,6 +172,10 @@ class Cluster:
         self.kernel.shutdown()
         for server in self.servers:
             server.disk.close()
+        if self.det_guard is not None:
+            from repro.analysis import guard as _guard
+            _guard.release(self.det_guard)
+            self.det_guard = None
 
     # ------------------------------------------------------------------ #
     # whole-cell kill / cold restart
@@ -235,6 +239,9 @@ class Cluster:
         self.servers, self.agents = fresh.servers, fresh.agents
         self.root = fresh.root
         self.killed = False
+        if self.det_guard is not None:
+            # the guard survives the incarnation; arm it on the new kernel
+            self.kernel.set_det_guard(self.det_guard)
         if reconcile:
             self.reconcile(settle_ms=settle_ms)
         return self
@@ -272,6 +279,7 @@ def build_cluster(
     backend: str = "memory",
     storage_dir: str | None = None,
     backends: list[StorageBackend] | None = None,
+    det_guard: bool = False,
 ) -> Cluster:
     """Stand up a full Deceit cell with a bootstrapped namespace.
 
@@ -291,6 +299,12 @@ def build_cluster(
     ``"sqlite"``.  File-backed kinds need ``storage_dir``; each server gets
     ``<storage_dir>/<addr>.<ext>``.  Pre-built ``backends`` (one per
     server, e.g. reopened from a previous incarnation) override both.
+
+    ``det_guard=True`` arms the runtime determinism tripwire
+    (:mod:`repro.analysis.guard`): while the kernel dispatches events,
+    reading the host clock or the process-global RNG raises
+    :class:`~repro.analysis.guard.DeterminismError` at the offending call
+    site.  Released by :meth:`Cluster.close`.
     """
     kernel = Kernel()
     metrics = Metrics()
@@ -322,6 +336,10 @@ def build_cluster(
         net_config=net_config, fd_interval_ms=fd_interval_ms,
         merge_audit_interval_ms=merge_audit_interval_ms,
         scatter_agents=scatter_agents)
+    if det_guard:
+        from repro.analysis import guard as _guard
+        cluster.det_guard = _guard.acquire()
+        kernel.set_det_guard(cluster.det_guard)
     return cluster
 
 

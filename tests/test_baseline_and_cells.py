@@ -3,10 +3,9 @@
 import pytest
 
 from repro.baseline import BaselineClient, BaselineNfsServer
-from repro.errors import NfsError, RpcTimeout
+from repro.errors import NfsError
 from repro.metrics import Metrics
 from repro.net import Network, UniformLatency
-from repro.sim import Kernel
 from repro.testbed import build_cells
 from tests.conftest import run
 

@@ -6,9 +6,6 @@ import pytest
 from repro.agent import AgentConfig
 from repro.core import FileParams, WriteOp
 from repro.errors import NfsError
-from repro.metrics import Metrics
-from repro.net import Network, UniformLatency
-from repro.sim import Kernel
 from repro.testbed import build_cluster, build_core_cluster
 
 

@@ -6,7 +6,6 @@ from repro.errors import GroupNotFound
 from repro.isis import IsisProcess, View
 from repro.net import Network, UniformLatency
 from repro.metrics import Metrics
-from repro.sim import Kernel
 from tests.conftest import run
 
 

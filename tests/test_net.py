@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import RpcTimeout, Unreachable
 from repro.net import ConstantLatency, LanWanLatency, Network, Node, RpcRemoteError
-from repro.net.message import Message, MsgKind
 from repro.sim import Kernel
 from tests.conftest import run
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import NfsError, NfsStat
-from repro.nfs import FileHandle
 from repro.nfs.attrs import FileType
 from repro.testbed import build_cluster
 

@@ -17,7 +17,6 @@ contract across that machinery:
 """
 
 from repro.core import FileParams, WriteOp
-from repro.errors import NoSuchSegment
 from repro.testbed import build_core_cluster
 
 WS0 = FileParams(min_replicas=1, write_safety=0, stability_notification=False)

@@ -8,7 +8,6 @@ conditional writes, and the special commands.
 import pytest
 
 from repro.core import FileParams, WriteOp
-from repro.core.params import Availability
 from repro.errors import NoSuchSegment, VersionConflict
 from repro.testbed import build_core_cluster
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Kernel, SimTimeoutError, TaskCancelled
+from repro.sim import SimTimeoutError, TaskCancelled
 from tests.conftest import run
 
 

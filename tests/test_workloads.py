@@ -1,6 +1,5 @@
 """Tests for the workload generator and replay engine."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -18,6 +18,24 @@ same snapshots.  This package enforces and debugs that contract:
 - :mod:`repro.analysis.detcheck` — run a seeded workload twice, compare
   witness chains, and binary-search checkpointed prefixes to name the
   *first divergent event*.  ``repro detcheck`` on the CLI.
+
+Its younger sibling is the **atomicity** contract: every protocol step's
+read-modify-write on shared server state must be atomic across the
+``await`` yield points of the cooperative runtime.  Same shape, same
+division of labor:
+
+- :mod:`repro.analysis.racelint` — an AST linter flagging unguarded lock
+  acquires, stale reads across awaits, leaked waiter futures, and
+  shared-state mutation from non-task callbacks.  ``repro racelint src``
+  on the CLI.
+- :mod:`repro.analysis.ysan` — :class:`YieldSanitizer`, an opt-in runtime
+  check-then-act detector (``build_cluster(ysan=True)``) over tracked
+  shared containers (off by default; one ``is None`` test per task step
+  when off).
+- :mod:`repro.analysis.racecheck` — run N seeded schedule perturbations
+  of a workload with ysan armed; hits replay exactly from
+  ``(seed, perturb_seed)`` and come with a witness-labeled event
+  neighborhood.  ``repro racecheck`` on the CLI.
 """
 
 from repro.analysis.detlint import (RULES, Violation, format_violations,
@@ -25,8 +43,11 @@ from repro.analysis.detlint import (RULES, Violation, format_violations,
 from repro.analysis.guard import DeterminismError, DeterminismGuard
 from repro.analysis.witness import WitnessRecorder
 from repro.analysis.detcheck import detcheck
+from repro.analysis.ysan import RaceViolation, TrackedDict, YieldSanitizer
+from repro.analysis.racecheck import racecheck
 
 __all__ = [
     "RULES", "Violation", "format_violations", "lint_paths", "lint_source",
     "DeterminismError", "DeterminismGuard", "WitnessRecorder", "detcheck",
+    "RaceViolation", "TrackedDict", "YieldSanitizer", "racecheck",
 ]

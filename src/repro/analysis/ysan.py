@@ -1,0 +1,252 @@
+"""YieldSanitizer: runtime check-then-act detection across yield points.
+
+Every ``await`` in cooperative-async protocol code is a silent preemption
+point: state read before it may be rewritten by another task before the
+reader resumes.  ``racelint`` flags the *shape* statically; the
+:class:`YieldSanitizer` catches the *occurrence* at run time.
+
+Mechanics: shared containers (token tables, catalogs, replica records)
+are wrapped in :class:`TrackedDict`, which reports per-key reads and
+writes to the sanitizer.  The kernel brackets every task step with
+``begin_step`` / ``end_step`` (one ``is None`` test per step when
+disarmed), so each access is attributed to the running task and to a step
+ordinal — a task whose read and write land in *different* steps crossed a
+yield point in between.  A violation is recorded when task A read key K,
+yielded, another task (or a non-task callback) wrote K, and A then wrote
+K on the strength of its stale read:
+
+    A read K   (step s1, generation g, event i)
+    B wrote K  (generation g+1, event j)
+    A wrote K  (step s2 > s1, generation at read < current, event k)  ← flagged
+
+Reads and the task's own writes refresh its knowledge, so the correct
+re-validate-after-await idiom never trips the check.  Each report carries
+both tasks' labels and the kernel event positions of the read, the
+interleaved write, and the stale write — positions that line up with the
+witness chain of a same-``(seed, perturb_seed)`` replay, which is how
+``repro racecheck`` hands a hit to the ``detcheck`` bisection machinery.
+
+Arm with ``build_cluster(ysan=True)``; off by default and costs nothing
+when off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class RaceViolation:
+    """One check-then-act hit: a write based on a read made stale mid-yield."""
+
+    domain: str            # tracked container label, e.g. "s3.tokens"
+    key: Any
+    reader: str            # task whose read-modify-write went stale
+    writer: str            # who wrote in between (task name or callback tag)
+    read_event: int        # kernel event position of the stale read
+    interleave_event: int  # ... of the interleaved write
+    write_event: int       # ... of the reader's stale write
+    read_step: int         # reader's step ordinal at the read
+    write_step: int        # ... at the write (> read_step: a yield between)
+
+    def format(self) -> str:
+        return (
+            f"{self.domain}[{self.key!r}]: task '{self.reader}' read at "
+            f"event {self.read_event} (step {self.read_step}), "
+            f"'{self.writer}' wrote at event {self.interleave_event}, "
+            f"then '{self.reader}' wrote at event {self.write_event} "
+            f"(step {self.write_step}) on the stale read")
+
+
+class TrackedDict(dict):
+    """A dict that reports per-task, per-key access to a YieldSanitizer.
+
+    Only the lookup paths protocol code actually uses are instrumented
+    (``[]``, ``get``, ``in``, ``setdefault``, ``pop``, ``del``); bulk
+    iteration (``values()`` / ``items()``) is deliberately untracked —
+    it reads a snapshot, and flagging it would bury the point-access
+    signal in noise.
+    """
+
+    __slots__ = ("_ysan", "label", "_gen", "_reads", "_writer")
+
+    def __init__(self, ysan: "YieldSanitizer", label: str,
+                 initial: Any = ()) -> None:
+        super().__init__(initial)
+        self._ysan = ysan
+        self.label = label
+        #: key -> write generation (monotone; survives deletion so a
+        #: delete/re-create cycle still counts as intervening writes)
+        self._gen: dict[Any, int] = {}
+        #: key -> {task: (step ordinal, generation, event position) at
+        #: that task's latest read (or own write) of the key}
+        self._reads: dict[Any, dict[Any, tuple[int, int, int]]] = {}
+        #: key -> (writer task or None, label, event position) of the
+        #: latest write
+        self._writer: dict[Any, tuple[Any, str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # hooks
+    # ------------------------------------------------------------------ #
+
+    def _note_read(self, key: Any) -> None:
+        ysan = self._ysan
+        task = ysan.current
+        if task is None:
+            return  # non-task access: nothing to go stale
+        self._reads.setdefault(key, {})[task] = (
+            ysan.steps(task), self._gen.get(key, 0), ysan.event_index())
+
+    def _note_write(self, key: Any) -> None:
+        ysan = self._ysan
+        task = ysan.current
+        gen = self._gen.get(key, 0)
+        event = ysan.event_index()
+        if task is not None:
+            rec = self._reads.get(key, {}).get(task)
+            last = self._writer.get(key)
+            if (rec is not None and last is not None
+                    and rec[1] < gen            # someone wrote since the read
+                    and last[0] is not task      # ... and it was not us
+                    and ysan.steps(task) > rec[0]):  # ... across a yield
+                ysan.record(RaceViolation(
+                    domain=self.label, key=key,
+                    reader=getattr(task, "name", "?"), writer=last[1],
+                    read_event=rec[2], interleave_event=last[2],
+                    write_event=event,
+                    read_step=rec[0], write_step=ysan.steps(task)))
+            # a write is current knowledge: refresh the reader record so
+            # follow-up writes by the same task are not re-flagged
+            self._reads.setdefault(key, {})[task] = (
+                ysan.steps(task), gen + 1, event)
+        self._gen[key] = gen + 1
+        label = (getattr(task, "name", "?") if task is not None
+                 else "(non-task callback)")
+        self._writer[key] = (task, label, event)
+
+    # ------------------------------------------------------------------ #
+    # instrumented dict surface
+    # ------------------------------------------------------------------ #
+
+    def __getitem__(self, key: Any) -> Any:
+        self._note_read(key)
+        return dict.__getitem__(self, key)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._note_read(key)
+        return dict.get(self, key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        self._note_read(key)
+        return dict.__contains__(self, key)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._note_write(key)
+        dict.__setitem__(self, key, value)
+
+    def __delitem__(self, key: Any) -> None:
+        self._note_write(key)
+        dict.__delitem__(self, key)
+
+    def pop(self, key: Any, *default: Any) -> Any:
+        self._note_write(key)
+        return dict.pop(self, key, *default)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        if dict.__contains__(self, key):
+            self._note_read(key)
+        else:
+            self._note_write(key)
+        return dict.setdefault(self, key, default)
+
+    def clear(self) -> None:
+        # volatile_reset() path: a crash wipes the container in place;
+        # staleness across an incarnation boundary is not meaningful
+        self._gen.clear()
+        self._reads.clear()
+        self._writer.clear()
+        dict.clear(self)
+
+
+class YieldSanitizer:
+    """Tracks task steps and shared-container access; records violations.
+
+    Attach to a kernel with ``kernel.set_ysan(sanitizer)`` (done by
+    ``build_cluster(ysan=True)``); wrap containers with :meth:`track`.
+    """
+
+    def __init__(self, max_violations: int = 256) -> None:
+        self.kernel: Any = None
+        self.current: Any = None     # task whose step is executing
+        self.total_violations = 0
+        self.max_violations = max_violations
+        self.violations: list[RaceViolation] = []
+        self.tracked: list[TrackedDict] = []
+        self._steps: dict[Any, int] = {}  # task -> steps begun
+
+    # kernel-facing hooks ------------------------------------------------ #
+
+    def attach(self, kernel: Any) -> None:
+        """Called by ``Kernel.set_ysan``; event positions come from here."""
+        self.kernel = kernel
+
+    def begin_step(self, task: Any) -> None:
+        self.current = task
+        self._steps[task] = self._steps.get(task, 0) + 1
+
+    def end_step(self) -> None:
+        self.current = None
+
+    # bookkeeping -------------------------------------------------------- #
+
+    def steps(self, task: Any) -> int:
+        """Step ordinal of ``task`` (how many times it has been resumed)."""
+        return self._steps.get(task, 0)
+
+    def event_index(self) -> int:
+        """Current kernel event position (aligns with the witness chain)."""
+        kernel = self.kernel
+        return kernel._events_processed if kernel is not None else 0
+
+    def track(self, label: str, mapping: Any = ()) -> TrackedDict:
+        """Wrap ``mapping``'s contents in a fresh TrackedDict and return it."""
+        tracked = TrackedDict(self, label, mapping)
+        self.tracked.append(tracked)
+        return tracked
+
+    def record(self, violation: RaceViolation) -> None:
+        self.total_violations += 1
+        if len(self.violations) < self.max_violations:
+            self.violations.append(violation)
+
+    # reporting ---------------------------------------------------------- #
+
+    def report(self) -> str:
+        """Human-readable summary of everything recorded."""
+        if not self.total_violations:
+            return "ysan: clean (0 violations)"
+        lines = [v.format() for v in self.violations]
+        if self.total_violations > len(self.violations):
+            lines.append(f"... and {self.total_violations - len(self.violations)}"
+                         " more (capped)")
+        lines.append(f"ysan: {self.total_violations} violation(s)")
+        return "\n".join(lines)
+
+
+def arm_cluster(sanitizer: YieldSanitizer, servers: Iterable[Any]) -> None:
+    """Wrap every server's shared protocol state in tracked containers.
+
+    All access to the token table, replica records, and catalogs funnels
+    through ``store.tokens`` / ``store.replicas`` / ``cat.catalogs`` (the
+    SegmentServer facade properties delegate there), so reassigning those
+    attributes instruments every reader and writer at once.
+    """
+    for server in servers:
+        seg = getattr(server, "segments", server)
+        addr = getattr(server, "addr", "?")
+        seg.store.replicas = sanitizer.track(f"{addr}.replicas",
+                                             seg.store.replicas)
+        seg.store.tokens = sanitizer.track(f"{addr}.tokens", seg.store.tokens)
+        seg.cat.catalogs = sanitizer.track(f"{addr}.catalogs",
+                                           seg.cat.catalogs)

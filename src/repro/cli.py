@@ -25,6 +25,17 @@ Subcommands:
   divergence, binary-search the checkpoints and name the first
   divergent event.  ``--inject-fault`` plants a controlled divergence
   to demo/exercise the bisector.
+- ``repro racelint`` — the atomicity-contract linter
+  (:mod:`repro.analysis.racelint`): flags unguarded lock acquires,
+  stale reads across awaits, leaked waiter futures, and shared-state
+  mutation from non-task callbacks.  Exits non-zero on any
+  unsuppressed violation, so it gates in CI.
+- ``repro racecheck`` — run N seeded schedule perturbations of a
+  workload with the yield sanitizer armed
+  (:mod:`repro.analysis.racecheck`): same-timestamp tie-breaking is
+  shuffled by a dedicated RNG, check-then-act races are reported with
+  both tasks and event positions, and any hit replays exactly from
+  ``(seed, perturb_seed)``.
 """
 
 from __future__ import annotations
@@ -200,6 +211,28 @@ def main(argv: list[str] | None = None) -> None:
                     help="steal one RNG draw before event N in run 2 "
                          "(a controlled divergence, to exercise the "
                          "bisector)")
+    rl = sub.add_parser(
+        "racelint",
+        help="lint sim-domain sources against the atomicity contract")
+    rl.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to lint (default: src)")
+    rl.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    rc = sub.add_parser(
+        "racecheck",
+        help="run N perturbed schedules with the yield sanitizer armed")
+    rc.add_argument("--workload", default="zipf",
+                    choices=["hotspot", "zipf", "baseline", "streaming"],
+                    help="named workload mix (default: zipf)")
+    rc.add_argument("--servers", type=int, default=16,
+                    help="cell size (default: 16)")
+    rc.add_argument("--agents", type=int, default=8,
+                    help="client agents (default: 8)")
+    rc.add_argument("--duration-ms", type=float, default=2_000.0,
+                    help="virtual workload duration (default: 2000)")
+    rc.add_argument("--seed", type=int, default=42)
+    rc.add_argument("--schedules", type=int, default=8,
+                    help="perturbed schedules to run (default: 8)")
     args = parser.parse_args(argv)
     if args.command == "detlint":
         from repro.analysis import detlint
@@ -216,6 +249,21 @@ def main(argv: list[str] | None = None) -> None:
                           inject_fault_at=args.inject_fault)
         print(format_report(report))
         raise SystemExit(0 if report["identical"] else 1)
+    if args.command == "racelint":
+        from repro.analysis import racelint
+        lint_args = list(args.paths or ["src"])
+        if args.list_rules:
+            lint_args.append("--list-rules")
+        raise SystemExit(racelint.main(lint_args))
+    if args.command == "racecheck":
+        from repro.analysis.racecheck import format_report as format_races
+        from repro.analysis.racecheck import racecheck
+        report = racecheck(workload=args.workload, n_servers=args.servers,
+                           n_agents=args.agents,
+                           duration_ms=args.duration_ms, seed=args.seed,
+                           schedules=args.schedules)
+        print(format_races(report))
+        raise SystemExit(0 if report["clean"] else 1)
     if args.command == "restart-bench":
         restart_bench(backend=args.backend, segments=args.segments,
                       storage_dir=args.storage_dir)

@@ -138,6 +138,7 @@ class RecoveryService:
                     self.metrics.incr("deceit.obsolete_replicas_destroyed")
                     return
                 self.store.replicas[(sid, major)] = replica
+                # racelint: ok(staleread) - awaits since the binding all return
                 info.holders.add(me)
                 await self._announce_major(sid, cat, major, replica)
                 if rel is Relation.ANCESTOR:
@@ -151,6 +152,7 @@ class RecoveryService:
                             or token_rec is not None:
                         await self.store.delete_token_record(sid, major)
                         if info.holder == me:
+                            # racelint: ok(staleread) - holder re-checked on the line above, after the yield
                             info.holder = None
                         self.metrics.incr("deceit.stale_tokens_surrendered")
                     # behind but no live token: catch up from a holder
@@ -162,7 +164,9 @@ class RecoveryService:
             # DESCENDANT: we are ahead of everything the group knows —
             # reclaim our state as authoritative for this major.
             self.store.replicas[(sid, major)] = replica
+            # racelint: ok(staleread) - awaits since the binding all return
             info.version = replica.version
+            # racelint: ok(staleread) - awaits since the binding all return
             info.holders.add(me)
             if token_rec is not None and info.holder in (None, me):
                 await self._reclaim_token(sid, cat, replica, token_rec)
@@ -181,6 +185,10 @@ class RecoveryService:
                 return
         # incomparable with every live major: keep, announce, log conflict
         self.store.replicas[(sid, major)] = replica
+        # Every await inside the scan loop above is followed by a return;
+        # the fall-through path to this write never yields after the
+        # cat.majors read that heads the loop.
+        # racelint: ok(staleread) - no yield on the fall-through path
         cat.majors[major] = MajorInfo(
             major=major, version=replica.version, holder=None,
             holders={me}, last_update_ts=replica.write_ts,

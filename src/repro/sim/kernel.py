@@ -219,28 +219,38 @@ class Task(SimFuture):
         if not self._started:
             _unadopt(self._coro)  # running now; no unawaited risk remains
         self._started = True
+        # yield sanitizer (repro.analysis.ysan): attribute shared-state
+        # accesses made during this step to this task.  Off by default;
+        # the fast path pays one attribute load and `is None` test.
+        ysan = self.kernel._ysan
+        if ysan is not None:
+            ysan.begin_step(self)
         try:
-            if self._cancelled:
-                awaited = self._coro.throw(TaskCancelled())
-            elif isinstance(wakeup_value, BaseException):
-                awaited = self._coro.throw(wakeup_value)
-            else:
-                awaited = self._coro.send(wakeup_value)
-        except StopIteration as stop:
-            self.try_set_result(stop.value)
-            return
-        except TaskCancelled as exc:
-            self.try_set_exception(exc)
-            return
-        except BaseException as exc:  # propagate to awaiters
-            self.try_set_exception(exc)
-            return
-        if not isinstance(awaited, SimFuture):
-            self.try_set_exception(
-                TypeError(f"task awaited a non-SimFuture: {awaited!r}")
-            )
-            return
-        awaited.add_done_callback(self._resume_from)
+            try:
+                if self._cancelled:
+                    awaited = self._coro.throw(TaskCancelled())
+                elif isinstance(wakeup_value, BaseException):
+                    awaited = self._coro.throw(wakeup_value)
+                else:
+                    awaited = self._coro.send(wakeup_value)
+            except StopIteration as stop:
+                self.try_set_result(stop.value)
+                return
+            except TaskCancelled as exc:
+                self.try_set_exception(exc)
+                return
+            except BaseException as exc:  # propagate to awaiters
+                self.try_set_exception(exc)
+                return
+            if not isinstance(awaited, SimFuture):
+                self.try_set_exception(
+                    TypeError(f"task awaited a non-SimFuture: {awaited!r}")
+                )
+                return
+            awaited.add_done_callback(self._resume_from)
+        finally:
+            if ysan is not None:
+                ysan.end_step()
 
     def _resume_from(self, fut: SimFuture) -> None:
         if self._done:
@@ -314,6 +324,11 @@ class Kernel:
         #: zero-delay events, in (when, seq) order by construction — `now`
         #: never decreases and seq only grows, so appends stay sorted
         self._fifo: deque[_Event] = deque()
+        #: how zero-delay events enter the fifo.  Default: the deque's own
+        #: append (the fifo's identity never changes — see _compact — so
+        #: binding it once is safe).  `set_perturbation` swaps in the
+        #: tie-break shuffler; the hot path itself stays branch-free.
+        self._fifo_push: Callable[[_Event], None] = self._fifo.append
         self._seq = itertools.count()
         self._events_processed = 0
         self._cancelled = 0  # dead events still sitting in queue or fifo
@@ -322,6 +337,11 @@ class Kernel:
         self._witness: Any = None
         #: determinism guard (repro.analysis.guard) engaged around dispatch
         self._det_guard: Any = None
+        #: yield sanitizer (repro.analysis.ysan); None = off, and Task._step
+        #: pays exactly one `is None` test per step
+        self._ysan: Any = None
+        #: schedule-perturbation RNG (repro racecheck); None = off
+        self._perturb: Any = None
 
     def set_witness(self, witness: Any) -> None:
         """Attach (or detach, with ``None``) a per-event witness recorder.
@@ -339,6 +359,56 @@ class Kernel:
         """
         self._det_guard = guard
 
+    def set_ysan(self, sanitizer: Any) -> None:
+        """Attach (or detach, with ``None``) a yield sanitizer.
+
+        The sanitizer's ``begin_step(task)`` / ``end_step()`` bracket every
+        task step, so shared-state accesses (through its tracked
+        containers) are attributed to the running task and to yield-point
+        crossings.  Off by default.
+        """
+        self._ysan = sanitizer
+        if sanitizer is not None:
+            sanitizer.attach(self)
+
+    def set_perturbation(self, rng: Any) -> None:
+        """Arm (or disarm, with ``None``) seeded schedule perturbation.
+
+        With an ``rng`` (a dedicated seeded ``random.Random`` — never the
+        workload/network stream), every zero-delay event is inserted at an
+        rng-chosen position among the queued events that share its virtual
+        timestamp, instead of appended.  This shuffles exactly the
+        tie-breaking that the FIFO's sequence numbers otherwise fix —
+        virtual-time ordering is untouched — so a perturbed run explores a
+        different but *legal* interleaving, reproducible from the rng's
+        seed.  Disarmed (the default), scheduling goes through the plain
+        deque append and runs are byte-identical to an unperturbed kernel.
+        """
+        self._perturb = rng
+        self._fifo_push = (self._fifo.append if rng is None
+                           else self._perturbed_push)
+
+    def _perturbed_push(self, event: _Event) -> None:
+        """Insert a zero-delay event at a random same-timestamp position.
+
+        Only the trailing run of fifo entries sharing ``event.when`` is a
+        legal insertion window (the fifo is sorted by ``when``; earlier
+        timestamps must stay ahead).  During normal dispatch the whole
+        fifo shares the current timestamp, so this is a full shuffle of
+        the pending zero-delay batch.
+        """
+        fifo = self._fifo
+        n = 0
+        for queued in reversed(fifo):
+            if queued.when != event.when:
+                break
+            n += 1
+        pos = self._perturb.randint(0, n)
+        if pos == n:
+            fifo.append(event)
+        else:
+            fifo.insert(len(fifo) - n + pos, event)
+
     # ------------------------------------------------------------------ #
     # scheduling primitives
     # ------------------------------------------------------------------ #
@@ -349,7 +419,7 @@ class Kernel:
             raise ValueError(f"negative delay: {delay}")
         event = _Event(self.now + delay, next(self._seq), fn, args)
         if delay == 0:
-            self._fifo.append(event)
+            self._fifo_push(event)
         else:
             heapq.heappush(self._queue, (event.when, event.seq, event))
         return EventHandle(event, self)
@@ -360,7 +430,7 @@ class Kernel:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         event = _Event(when, next(self._seq), fn, args)
         if when == self.now:
-            self._fifo.append(event)
+            self._fifo_push(event)
         else:
             heapq.heappush(self._queue, (when, event.seq, event))
         return EventHandle(event, self)
@@ -375,12 +445,12 @@ class Kernel:
             raise ValueError(f"negative delay: {delay}")
         event = _Event(self.now + delay, next(self._seq), fn, args)
         if delay == 0:
-            self._fifo.append(event)
+            self._fifo_push(event)
         else:
             heapq.heappush(self._queue, (event.when, event.seq, event))
 
     def _schedule_now(self, fn: Callable, *args: Any) -> None:
-        self._fifo.append(_Event(self.now, next(self._seq), fn, args))
+        self._fifo_push(_Event(self.now, next(self._seq), fn, args))
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify (both queues).

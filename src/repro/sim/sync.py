@@ -1,10 +1,25 @@
-"""Cooperative synchronization primitives on the simulation kernel."""
+"""Cooperative synchronization primitives on the simulation kernel.
+
+Atomicity contract (what ``racelint`` / ``ysan`` assume of this layer):
+
+- :class:`Lock` is FIFO and hand-off: ``release()`` passes ownership to
+  the longest-waiting *live* acquirer without dropping the lock in
+  between.  A waiter that gave up (``wait_for`` timeout — the kernel does
+  **not** cancel the inner acquire — or a crashed task) must either be
+  skipped because its future is already done, or renounced explicitly via
+  :meth:`Lock.abandon`; otherwise its pending future would soak up a
+  grant nobody is awaiting and wedge the lock forever.
+- :class:`Event` wakeups are **edge-triggered one-shots**: ``set()``
+  irrevocably resolves every already-registered waiter, even if
+  ``clear()`` runs before the woken tasks actually resume.  A woken
+  waiter must therefore not assume ``is_set`` still holds when it runs.
+"""
 
 from __future__ import annotations
 
 from collections import deque
 
-from repro.sim.kernel import Kernel, SimFuture
+from repro.sim.kernel import Kernel, SimFuture, SimTimeoutError
 
 
 class Lock:
@@ -15,6 +30,16 @@ class Lock:
         await lock.acquire()
         try: ...
         finally: lock.release()
+
+    With a timeout (the acquire future must be renounced on failure,
+    because ``wait_for`` does not cancel the underlying acquire)::
+
+        fut = lock.acquire()
+        try:
+            await kernel.wait_for(fut, timeout)
+        except SimTimeoutError:
+            lock.abandon(fut)
+            raise
     """
 
     def __init__(self, kernel: Kernel):
@@ -33,13 +58,38 @@ class Lock:
         return fut
 
     def release(self) -> None:
-        """Release; wakes the longest-waiting acquirer, if any."""
+        """Release; hands off to the longest-waiting *live* acquirer.
+
+        Waiter futures that are already done — abandoned via
+        :meth:`abandon`, or failed by a node crash — are skipped: granting
+        to one would "give" the lock to a task that stopped listening,
+        wedging every later acquirer behind a phantom owner.
+        """
         if not self._locked:
             raise RuntimeError("release of unheld lock")
-        if self._waiters:
-            self._waiters.popleft().try_set_result(None)
-        else:
-            self._locked = False
+        waiters = self._waiters
+        while waiters:
+            if waiters.popleft().try_set_result(None):
+                return  # ownership handed off; lock stays held
+        self._locked = False
+
+    def abandon(self, fut: SimFuture) -> None:
+        """Renounce a pending :meth:`acquire` future (idempotent).
+
+        Call this when the would-be owner gives up on ``fut`` — typically
+        after a ``wait_for`` timeout, which leaves the acquire future
+        pending in the waiter queue.  If the grant already landed (the
+        lock was handed to ``fut`` between the timeout firing and this
+        call), the lock is released on the abandoner's behalf; otherwise
+        the future is failed in place so :meth:`release` skips it.
+        """
+        if fut.done():
+            if fut.exception() is None:
+                # the grant raced the abandonment: we own the lock now,
+                # and nobody is awaiting the future — pass it on
+                self.release()
+            return
+        fut.set_exception(SimTimeoutError("lock acquire abandoned"))
 
     @property
     def locked(self) -> bool:
@@ -48,7 +98,16 @@ class Lock:
 
 
 class Event:
-    """One-shot (resettable) broadcast event."""
+    """Resettable broadcast event with **one-shot wakeups**.
+
+    ``set()`` resolves every waiter registered so far; those wakeups are
+    irrevocable.  ``clear()`` only re-arms the event for *future*
+    :meth:`wait` calls — it does not (and cannot) revoke wakeups already
+    granted, so a task woken by ``set()`` may observe ``is_set == False``
+    by the time it resumes if an intervening ``clear()`` ran.  Code that
+    needs the condition to still hold must re-check it after waking
+    (``while not ev.is_set: await ev.wait()``).
+    """
 
     def __init__(self, kernel: Kernel):
         self.kernel = kernel
@@ -72,7 +131,7 @@ class Event:
             fut.try_set_result(None)
 
     def clear(self) -> None:
-        """Re-arm the event."""
+        """Re-arm the event (wakeups already granted stay granted)."""
         self._set = False
 
     @property

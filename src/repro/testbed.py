@@ -133,6 +133,7 @@ class Cluster:
     incarnation: int = 0
     killed: bool = False
     det_guard: object | None = None
+    ysan: object | None = None
 
     def run(self, awaitable, limit: float = 600_000.0):
         """Drive the simulation until ``awaitable`` resolves."""
@@ -280,6 +281,8 @@ def build_cluster(
     storage_dir: str | None = None,
     backends: list[StorageBackend] | None = None,
     det_guard: bool = False,
+    ysan: bool = False,
+    perturb_seed: int | None = None,
 ) -> Cluster:
     """Stand up a full Deceit cell with a bootstrapped namespace.
 
@@ -305,8 +308,20 @@ def build_cluster(
     reading the host clock or the process-global RNG raises
     :class:`~repro.analysis.guard.DeterminismError` at the offending call
     site.  Released by :meth:`Cluster.close`.
+
+    ``ysan=True`` arms the yield sanitizer (:mod:`repro.analysis.ysan`):
+    every server's token table, replica records, and catalogs are wrapped
+    in tracked containers, and check-then-act races across yield points
+    are recorded on ``cluster.ysan``.  ``perturb_seed`` additionally arms
+    seeded schedule perturbation (``Kernel.set_perturbation``): a
+    dedicated RNG shuffles same-timestamp zero-delay tie-breaking, so the
+    run explores a different but reproducible interleaving.  Both are off
+    by default and cost nothing when off.
     """
     kernel = Kernel()
+    if perturb_seed is not None:
+        import random
+        kernel.set_perturbation(random.Random(perturb_seed))
     metrics = Metrics()
     network = Network(kernel, latency=latency or UniformLatency(1.0, 3.0),
                       seed=seed, metrics=metrics, config=net_config)
@@ -340,6 +355,12 @@ def build_cluster(
         from repro.analysis import guard as _guard
         cluster.det_guard = _guard.acquire()
         kernel.set_det_guard(cluster.det_guard)
+    if ysan:
+        from repro.analysis.ysan import YieldSanitizer, arm_cluster
+        sanitizer = YieldSanitizer()
+        kernel.set_ysan(sanitizer)
+        arm_cluster(sanitizer, cluster.servers)
+        cluster.ysan = sanitizer
     return cluster
 
 
@@ -352,6 +373,8 @@ def build_scale_cluster(
     net_config: NetConfig | None = None,
     fd_interval_ms: float | None = None,
     merge_audit_interval_ms: float | None = None,
+    ysan: bool = False,
+    perturb_seed: int | None = None,
 ) -> Cluster:
     """A large-cell profile of :func:`build_cluster` for O(100)-server runs.
 
@@ -383,7 +406,7 @@ def build_scale_cluster(
         agent_config=agent_config, latency=latency, net_config=net_config,
         fd_interval_ms=fd_interval_ms, fd_timeout_ms=4 * fd_interval_ms,
         merge_audit_interval_ms=merge_audit_interval_ms,
-        scatter_agents=True)
+        scatter_agents=True, ysan=ysan, perturb_seed=perturb_seed)
 
 
 def _build_cell(kernel, network, metrics, n_servers, n_agents,

@@ -1,0 +1,299 @@
+"""racelint rule fixtures: the static half of the atomicity toolchain.
+
+One violating and one clean snippet per rule, pushed through
+:func:`lint_source` with a core-domain path so the allowlist does not
+apply.  The planted stale-read fixture at the bottom is the same hazard
+shape ``tests/test_ysan.py`` catches dynamically under schedule
+perturbation — the acceptance contract is that both halves see it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.racelint import (ALLOWLIST, RULES, lint_paths,
+                                     lint_source)
+
+CORE_PATH = "src/repro/core/fixture.py"  # protocol domain: no allowlist
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+# --------------------------------------------------------------------- #
+# lockguard
+# --------------------------------------------------------------------- #
+
+class TestLockguardRule:
+    def test_acquire_without_guard_flagged(self):
+        src = ("async def f(self, k):\n"
+               "    await self.lock.acquire()\n"
+               "    self.tokens[k] = 1\n"
+               "    self.lock.release()\n")
+        vs = lint_source(src, CORE_PATH)
+        assert "lockguard" in rules_of(vs)
+
+    def test_acquire_with_try_finally_clean(self):
+        src = ("async def f(self, k):\n"
+               "    await self.lock.acquire()\n"
+               "    try:\n"
+               "        self.counter += 1\n"
+               "    finally:\n"
+               "        self.lock.release()\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_simple_statement_before_guard_tolerated(self):
+        # the _replenish shape: a plain assignment between acquire and try
+        src = ("async def f(self, k):\n"
+               "    await self.lock.acquire()\n"
+               "    created = 0\n"
+               "    try:\n"
+               "        created += 1\n"
+               "    finally:\n"
+               "        self.lock.release()\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_await_before_guard_flagged(self):
+        src = ("async def f(self, k):\n"
+               "    await self.lock.acquire()\n"
+               "    await self.persist(k)\n"
+               "    try:\n"
+               "        pass\n"
+               "    finally:\n"
+               "        self.lock.release()\n")
+        assert "lockguard" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_wrong_lock_released_flagged(self):
+        src = ("async def f(self, k):\n"
+               "    await self.lock.acquire()\n"
+               "    try:\n"
+               "        pass\n"
+               "    finally:\n"
+               "        self.other_lock.release()\n")
+        assert "lockguard" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_discarded_acquire_future_flagged(self):
+        src = ("def f(self):\n"
+               "    self.lock.acquire()\n")
+        assert "lockguard" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_bound_acquire_future_clean(self):
+        # the timeout idiom: the future is bound and renounced on failure
+        src = ("async def f(self, kernel, timeout):\n"
+               "    fut = self.lock.acquire()\n"
+               "    try:\n"
+               "        await kernel.wait_for(fut, timeout)\n"
+               "    except SimTimeoutError:\n"
+               "        self.lock.abandon(fut)\n"
+               "        raise\n"
+               "    try:\n"
+               "        pass\n"
+               "    finally:\n"
+               "        self.lock.release()\n")
+        assert lint_source(src, CORE_PATH) == []
+
+
+# --------------------------------------------------------------------- #
+# staleread
+# --------------------------------------------------------------------- #
+
+class TestStalereadRule:
+    def test_read_await_write_flagged(self):
+        src = ("async def f(self, k):\n"
+               "    token = self.tokens[k]\n"
+               "    await self.persist(token)\n"
+               "    self.tokens[k] = token\n")
+        vs = lint_source(src, CORE_PATH)
+        assert rules_of(vs) == ["staleread"]
+        assert vs[0].line == 4
+
+    def test_dot_get_read_counts(self):
+        src = ("async def f(self, k):\n"
+               "    info = self.catalogs.get(k)\n"
+               "    await self.persist(info)\n"
+               "    self.catalogs[k] = info\n")
+        assert rules_of(lint_source(src, CORE_PATH)) == ["staleread"]
+
+    def test_mutating_method_on_bound_name_counts_as_write(self):
+        src = ("async def f(self, k, addr):\n"
+               "    info = self.majors[k]\n"
+               "    await self.persist(info)\n"
+               "    info.holders.discard(addr)\n")
+        assert "staleread" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_lock_guard_spanning_both_clean(self):
+        src = ("async def f(self, k):\n"
+               "    await self.lock.acquire()\n"
+               "    try:\n"
+               "        token = self.tokens[k]\n"
+               "        await self.persist(token)\n"
+               "        self.tokens[k] = token\n"
+               "    finally:\n"
+               "        self.lock.release()\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_no_await_between_clean(self):
+        src = ("async def f(self, k):\n"
+               "    token = self.tokens[k]\n"
+               "    self.tokens[k] = token\n"
+               "    await self.persist(token)\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_unshared_attribute_clean(self):
+        src = ("async def f(self, k):\n"
+               "    value = self.cache[k]\n"
+               "    await self.persist(value)\n"
+               "    self.cache[k] = value\n")
+        assert lint_source(src, CORE_PATH) == []
+
+
+# --------------------------------------------------------------------- #
+# futleak
+# --------------------------------------------------------------------- #
+
+class TestFutleakRule:
+    def test_registered_future_awaited_without_finally_flagged(self):
+        src = ("async def f(self, k):\n"
+               "    fut = self.kernel.create_future()\n"
+               "    self._waits[k] = fut\n"
+               "    await self.kernel.wait_for(fut, 100.0)\n")
+        assert "futleak" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_finally_pop_clean(self):
+        src = ("async def f(self, k):\n"
+               "    fut = self.kernel.create_future()\n"
+               "    self._waits[k] = fut\n"
+               "    try:\n"
+               "        await self.kernel.wait_for(fut, 100.0)\n"
+               "    finally:\n"
+               "        self._waits.pop(k, None)\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_finally_del_clean(self):
+        src = ("async def f(self, k):\n"
+               "    fut = self.kernel.create_future()\n"
+               "    self._waits[k] = fut\n"
+               "    try:\n"
+               "        await fut\n"
+               "    finally:\n"
+               "        del self._waits[k]\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_unregistered_future_clean(self):
+        src = ("async def f(self):\n"
+               "    fut = self.kernel.create_future()\n"
+               "    await fut\n")
+        assert lint_source(src, CORE_PATH) == []
+
+
+# --------------------------------------------------------------------- #
+# callbackmut
+# --------------------------------------------------------------------- #
+
+class TestCallbackmutRule:
+    def test_lambda_mutating_shared_state_flagged(self):
+        src = ("def f(self, k):\n"
+               "    self.kernel.schedule(5.0, lambda: self.tokens.pop(k))\n")
+        assert "callbackmut" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_on_keyword_callback_flagged(self):
+        src = ("async def f(self, k):\n"
+               "    await self.proc.cbcast(\n"
+               "        k, {},\n"
+               "        on_audit=lambda r: self.tokens.pop(k),\n"
+               "    )\n")
+        assert "callbackmut" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_method_callback_mutating_flagged(self):
+        src = ("class C:\n"
+               "    def _on_done(self):\n"
+               "        self.tokens.pop(1, None)\n"
+               "    def f(self, fut):\n"
+               "        fut.add_done_callback(self._on_done)\n")
+        assert "callbackmut" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_read_only_callback_clean(self):
+        src = ("def f(self, k, log):\n"
+               "    self.kernel.schedule(5.0, lambda: log(self.tokens.get(k)))\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_unshared_mutation_clean(self):
+        src = ("def f(self, k):\n"
+               "    self.kernel.schedule(5.0, lambda: self.pending.pop(k))\n")
+        assert lint_source(src, CORE_PATH) == []
+
+
+# --------------------------------------------------------------------- #
+# pragmas, allowlist, catalog
+# --------------------------------------------------------------------- #
+
+class TestPragmas:
+    def test_reasoned_pragma_suppresses(self):
+        src = ("async def f(self, k):\n"
+               "    token = self.tokens[k]\n"
+               "    await self.persist(token)\n"
+               "    # racelint: ok(staleread) - single writer by construction\n"
+               "    self.tokens[k] = token\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_pragma_on_same_line_suppresses(self):
+        src = ("async def f(self, k):\n"
+               "    token = self.tokens[k]\n"
+               "    await self.persist(token)\n"
+               "    self.tokens[k] = token"
+               "  # racelint: ok(staleread) - single writer\n")
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_pragma_without_reason_flagged(self):
+        src = ("async def f(self, k):\n"
+               "    token = self.tokens[k]\n"
+               "    await self.persist(token)\n"
+               "    # racelint: ok(staleread)\n"
+               "    self.tokens[k] = token\n")
+        assert "pragma" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_pragma_unknown_rule_flagged(self):
+        src = "x = 1  # racelint: ok(notarule) - because\n"
+        assert rules_of(lint_source(src, CORE_PATH)) == ["pragma"]
+
+    def test_pragma_wrong_rule_does_not_suppress(self):
+        src = ("async def f(self, k):\n"
+               "    token = self.tokens[k]\n"
+               "    await self.persist(token)\n"
+               "    # racelint: ok(lockguard) - wrong rule named\n"
+               "    self.tokens[k] = token\n")
+        assert "staleread" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_every_allowlist_entry_has_reason(self):
+        for suffix, _rules, reason in ALLOWLIST:
+            assert reason.strip(), f"allowlist entry {suffix} lacks a reason"
+
+    def test_rule_catalog_documented(self):
+        assert set(RULES) == {"lockguard", "staleread", "futleak",
+                              "callbackmut", "pragma"}
+        for rule, doc in RULES.items():
+            assert doc.strip(), f"rule {rule} lacks a description"
+
+
+# --------------------------------------------------------------------- #
+# the real tree, and the planted acceptance fixture
+# --------------------------------------------------------------------- #
+
+#: Planted stale-read: the token-table RMW hazard in miniature.  The same
+#: check-then-act shape is driven dynamically in tests/test_ysan.py; here
+#: racelint must see it statically.
+PLANTED_STALE_READ = (
+    "async def bump(self, key):\n"
+    "    token = self.tokens[key]\n"
+    "    await self.store.persist(token)\n"
+    "    self.tokens[key] = token.next_version()\n"
+)
+
+
+def test_src_tree_is_racelint_clean():
+    assert lint_paths(["src"]) == []
+
+
+def test_planted_stale_read_caught_statically():
+    vs = lint_source(PLANTED_STALE_READ, CORE_PATH)
+    assert rules_of(vs) == ["staleread"]
+    assert vs[0].line == 4  # the write-back, not the read

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.sim import SimTimeoutError
 from repro.sim.sync import Event, Lock
 from tests.conftest import run
 
@@ -54,6 +55,112 @@ def test_release_unheld_lock_raises(kernel):
         lock.release()
 
 
+def test_double_release_raises(kernel):
+    lock = Lock(kernel)
+
+    async def main():
+        await lock.acquire()
+        lock.release()
+        with pytest.raises(RuntimeError):
+            lock.release()
+
+    run(kernel, main())
+
+
+def test_timed_out_acquirer_does_not_wedge_lock(kernel):
+    """Regression: release() used to hand the lock to a waiter that had
+    already given up (wait_for does not cancel the inner acquire), leaving
+    it held by a phantom owner forever."""
+    lock = Lock(kernel)
+    trace = []
+
+    async def impatient():
+        fut = lock.acquire()
+        try:
+            await kernel.wait_for(fut, 5.0)
+        except SimTimeoutError:
+            lock.abandon(fut)
+            trace.append("gave-up")
+            return
+        raise AssertionError("lock was not held; timeout expected")
+
+    async def patient():
+        await lock.acquire()
+        trace.append("patient-acquired")
+        lock.release()
+
+    async def main():
+        await lock.acquire()  # hold so both others must queue
+        a = kernel.spawn(impatient())
+        b = kernel.spawn(patient())
+        await kernel.sleep(10.0)  # let the timeout fire
+        lock.release()
+        await kernel.all_of([a, b])
+
+    run(kernel, main())
+    assert trace == ["gave-up", "patient-acquired"]
+    assert not lock.locked
+
+
+def test_release_skips_crashed_waiter_future(kernel):
+    """A waiter future failed externally (e.g. its node crashed) must be
+    skipped by release(), not granted."""
+    lock = Lock(kernel)
+    order = []
+
+    async def worker(i):
+        await lock.acquire()
+        order.append(i)
+        lock.release()
+
+    async def main():
+        await lock.acquire()
+        dead = lock.acquire()  # queued waiter...
+        dead.set_exception(RuntimeError("node crashed"))  # ...then died
+        live = kernel.spawn(worker(1))
+        await kernel.sleep(1.0)
+        lock.release()
+        await live
+        assert dead.exception() is not None  # consumed, not overwritten
+
+    run(kernel, main())
+    assert order == [1]
+    assert not lock.locked
+
+
+def test_abandon_after_grant_races_releases_on_behalf(kernel):
+    """If the grant lands before abandon() runs, the abandoner briefly owns
+    the lock; abandon() must pass it on instead of leaking it."""
+    lock = Lock(kernel)
+
+    async def main():
+        await lock.acquire()
+        fut = lock.acquire()  # queued
+        lock.release()        # grant lands on fut immediately
+        assert fut.done() and fut.exception() is None
+        lock.abandon(fut)     # abandoner never looked: must release
+        assert not lock.locked
+        await lock.acquire()  # a later acquirer gets it at once
+        lock.release()
+
+    run(kernel, main())
+
+
+def test_abandon_pending_future_is_idempotent(kernel):
+    lock = Lock(kernel)
+
+    async def main():
+        await lock.acquire()
+        fut = lock.acquire()
+        lock.abandon(fut)
+        lock.abandon(fut)  # second call is a no-op, not a double-release
+        assert isinstance(fut.exception(), SimTimeoutError)
+        lock.release()
+        assert not lock.locked
+
+    run(kernel, main())
+
+
 def test_event_wakes_all_waiters(kernel):
     event = Event(kernel)
     woken = []
@@ -90,3 +197,50 @@ def test_event_clear_rearms(kernel):
     event.set()
     event.clear()
     assert not event.is_set
+
+
+def test_event_wakeups_are_one_shot_across_clear(kernel):
+    """set() wakeups are irrevocable: a clear() that runs before the woken
+    task resumes does not revoke them — the waiter wakes and may observe
+    is_set == False.  This is the documented one-shot contract."""
+    event = Event(kernel)
+    observed = []
+
+    async def waiter():
+        await event.wait()
+        observed.append(event.is_set)
+
+    async def main():
+        task = kernel.spawn(waiter())
+        await kernel.sleep(1.0)
+        event.set()
+        event.clear()  # before the waiter's resume event is dispatched
+        await task
+
+    run(kernel, main())
+    assert observed == [False]  # woke, but the condition was already gone
+
+
+def test_event_level_check_idiom_rewaits(kernel):
+    """``while not ev.is_set: await ev.wait()`` survives a set/clear pulse
+    that a bare ``await ev.wait()`` would mistake for the condition."""
+    event = Event(kernel)
+    done = []
+
+    async def waiter():
+        while not event.is_set:
+            await event.wait()
+        done.append(kernel.now)
+
+    async def main():
+        task = kernel.spawn(waiter())
+        await kernel.sleep(1.0)
+        event.set()
+        event.clear()  # pulse: waiter wakes, sees clear, re-waits
+        await kernel.sleep(5.0)
+        assert done == []
+        event.set()  # condition now holds for real
+        await task
+
+    run(kernel, main())
+    assert done == [6.0]

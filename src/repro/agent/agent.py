@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, replace as dc_replace
 from enum import Enum
 from typing import Any
@@ -75,6 +76,22 @@ class AgentConfig:
     #: on how long an acked-but-unflushed write may live only in agent
     #: memory.
     write_behind_ttl_ms: float = 50.0
+    #: How many times a request answered ``ERR_BUSY`` by a server's
+    #: admission gate (repro.obs.admission) is retried before the error
+    #: surfaces.  Retries hit the *same* server — BUSY is backpressure,
+    #: not failure, so it must not trigger failover stampedes.
+    busy_retries: int = 4
+    #: First BUSY backoff; doubles per retry.  Scaled by a deterministic
+    #: per-agent stagger (a CRC of the agent's address): identical
+    #: backoffs would march rejected clients in lockstep — convoys that
+    #: retry together and let the admission bucket cap out (wasting
+    #: refill) in the gaps.  CRC-derived stagger desynchronizes them
+    #: while keeping same-seed runs byte-identical.
+    busy_backoff_ms: float = 2.0
+    #: Ceiling on one BUSY backoff sleep: the doubling stops here, so a
+    #: patient client (high ``busy_retries``) waits out a long overload
+    #: in bounded slices rather than milliseconds-to-seconds doubling.
+    busy_backoff_cap_ms: float = 64.0
 
 
 class _WriteBuffer:
@@ -237,6 +254,9 @@ class Agent(Node):
         # fh-key -> asynchronous (safety-0) flush failures, surfaced on
         # the next flush()/close() of THAT handle (or a flush-all)
         self._wb_errors: dict[str, list[NfsError]] = {}
+        # deterministic backoff stagger in [1, 2): crc32 (not hash()) so
+        # it is stable across processes / PYTHONHASHSEED
+        self._busy_stagger = 1.0 + (zlib.crc32(addr.encode()) & 0xFF) / 256.0
         self.metrics = network.metrics
 
     # ------------------------------------------------------------------ #
@@ -254,35 +274,71 @@ class Agent(Node):
     async def _nfs(self, op: str, args: dict[str, Any],
                    to: str | None = None, size_bytes: int = 256,
                    on_target_fail=None) -> dict:
-        """One NFS RPC, with failover across servers when enabled."""
+        """One NFS RPC, with failover across servers when enabled.
+
+        This is the NFS envelope's client side, so it is also where a
+        request trace begins: while a tracer is armed, a fresh trace id
+        is minted per call, rides the task (and every message sent on
+        its behalf) through the cell, and the whole call is recorded as
+        the root ``agent``-layer span.
+        """
         await self._user_hop()
-        attempts = len(self.servers) if self.config.failover else 1
-        if to is not None:
-            attempts += 1  # a failed routed target must not eat the budget
-        last_exc: Exception | None = None
-        for _try in range(attempts):
-            target = to if to is not None else self.server
-            try:
-                reply = await self.call(target, "nfs", op=op, args=args,
-                                        timeout=RPC_TIMEOUT_MS,
-                                        size_bytes=size_bytes, tag=f"nfs.{op}")
-            except (RpcTimeout, Unreachable, RpcRemoteError) as exc:
-                last_exc = exc
-                if to is not None:
-                    if on_target_fail is not None:
-                        on_target_fail(target)
-                    to = None  # routed target failed: fall back to server
+        kernel = self.kernel
+        tracer = kernel._tracer
+        traced = None
+        if tracer is not None:
+            traced = kernel._current
+            if traced is not None:
+                prev_trace = traced.trace
+                traced.trace = tid = tracer.mint()
+                t0 = kernel.now
+        try:
+            attempts = len(self.servers) if self.config.failover else 1
+            if to is not None:
+                attempts += 1  # a failed routed target must not eat the budget
+            last_exc: Exception | None = None
+            failures = 0
+            busy_left = self.config.busy_retries
+            busy_wait = self.config.busy_backoff_ms * self._busy_stagger
+            while failures < attempts:
+                target = to if to is not None else self.server
+                try:
+                    reply = await self.call(target, "nfs", op=op, args=args,
+                                            timeout=RPC_TIMEOUT_MS,
+                                            size_bytes=size_bytes,
+                                            tag=f"nfs.{op}")
+                except (RpcTimeout, Unreachable, RpcRemoteError) as exc:
+                    last_exc = exc
+                    failures += 1
+                    if to is not None:
+                        if on_target_fail is not None:
+                            on_target_fail(target)
+                        to = None  # routed target failed: fall back to server
+                        continue
+                    if not self.config.failover:
+                        break
+                    self.current = (self.current + 1) % len(self.servers)
+                    self.metrics.incr("agent.failovers")
                     continue
-                if not self.config.failover:
-                    break
-                self.current = (self.current + 1) % len(self.servers)
-                self.metrics.incr("agent.failovers")
-                continue
-            if reply["status"] != 0:
-                raise NfsError(reply["status"], reply.get("error", ""))
-            return reply
-        raise nfs_error(NfsStat.ERR_IO,
-                        f"no server reachable for {op}: {last_exc}")
+                status = reply["status"]
+                if status == NfsStat.ERR_BUSY and busy_left > 0:
+                    # admission backpressure: back off and retry the same
+                    # server without spending the failover budget
+                    busy_left -= 1
+                    self.metrics.incr("agent.busy_retries")
+                    await kernel.sleep(busy_wait)
+                    busy_wait = min(busy_wait * 2.0,
+                                    self.config.busy_backoff_cap_ms)
+                    continue
+                if status != 0:
+                    raise NfsError(status, reply.get("error", ""))
+                return reply
+            raise nfs_error(NfsStat.ERR_IO,
+                            f"no server reachable for {op}: {last_exc}")
+        finally:
+            if traced is not None:
+                tracer.record(tid, t0, kernel.now, "agent", f"nfs.{op}")
+                traced.trace = prev_trace
 
     async def _cmd(self, cmd: str, args: dict[str, Any]) -> dict:
         await self._user_hop()

@@ -82,6 +82,9 @@ ALLOWLIST: list[tuple[str, frozenset[str] | None, str]] = [
      "durability seam: real file I/O outside the simulation clock"),
     ("repro/metrics.py", frozenset({"wallclock"}),
      "harness-level reports may stamp real wall time"),
+    ("repro/obs/loadtest.py", frozenset({"wallclock"}),
+     "saturation harness reports real wall seconds per ramp step; "
+     "simulated time comes from kernel.now"),
 ]
 
 _PRAGMA_RE = re.compile(

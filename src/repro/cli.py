@@ -36,6 +36,16 @@ Subcommands:
   shuffled by a dedicated RNG, check-then-act races are reported with
   both tasks and event positions, and any hit replays exactly from
   ``(seed, perturb_seed)``.
+- ``repro loadtest`` — the saturation/SLO harness
+  (:mod:`repro.obs.loadtest`): ramp closed-loop client concurrency
+  stepwise over fresh same-seed cells, print per-step throughput and
+  latency percentiles, and mark the knee where throughput plateaus.
+  ``--gate-rate`` arms the per-server admission token bucket so the
+  gated/ungated overload comparison is one flag away.
+- ``repro trace`` — run a seeded workload with request tracing armed
+  (:mod:`repro.obs.tracer`) and print waterfall renderings of the
+  slowest end-to-end requests: agent envelope → RPC service → pipeline
+  → disk commit → network hops, all in virtual time.
 """
 
 from __future__ import annotations
@@ -152,6 +162,49 @@ def restart_bench(backend: str = "journal", segments: int = 10_000,
     return r
 
 
+def loadtest_cmd(n_servers: int = 4, steps: tuple[int, ...] | None = None,
+                 duration_ms: float = 1500.0, seed: int = 42,
+                 write_fraction: float = 0.3, slo_p99_ms: float | None = None,
+                 gate_rate: float | None = None,
+                 gate_burst: float = 32.0) -> dict:
+    """Run the saturation ramp and print the operator table."""
+    from repro.obs.admission import AdmissionConfig
+    from repro.obs.loadtest import DEFAULT_STEPS, format_report, loadtest
+
+    admission = (AdmissionConfig(rate_per_ms=gate_rate, burst=gate_burst)
+                 if gate_rate is not None else None)
+    report = loadtest(n_servers=n_servers,
+                      steps=tuple(steps) if steps else DEFAULT_STEPS,
+                      duration_ms=duration_ms, seed=seed,
+                      write_fraction=write_fraction, slo_p99_ms=slo_p99_ms,
+                      admission=admission)
+    print(format_report(report))
+    return report
+
+
+def trace_cmd(workload: str = "hotspot", n_servers: int = 4,
+              n_agents: int = 4, duration_ms: float = 1_000.0,
+              seed: int = 42, slowest: int = 5) -> None:
+    """Run a traced seeded workload; print the slowest-request waterfalls."""
+    from repro.workloads import (WorkloadConfig, WorkloadGenerator,
+                                 hotspot_config, streaming_config)
+    from repro.workloads.replay import replay
+
+    factory = {"hotspot": hotspot_config, "baseline": WorkloadConfig,
+               "streaming": streaming_config}[workload]
+    cfg = factory(n_clients=n_agents, duration_ms=duration_ms, seed=seed)
+    ops = WorkloadGenerator(cfg).generate()
+    cluster = build_scale_cluster(n_servers=n_servers, n_agents=n_agents,
+                                  seed=seed, tracing=True)
+    stats = cluster.run(replay(cluster, ops), limit=10_000_000.0)
+    print(f"{workload} workload on {n_servers} servers / {n_agents} agents: "
+          f"{stats.attempted} ops ({stats.succeeded} ok), "
+          f"{cluster.kernel.now:.0f} ms virtual\n")
+    assert cluster.tracer is not None
+    print(cluster.tracer.report(slowest))
+    cluster.close()
+
+
 def main(argv: list[str] | None = None) -> None:
     """``repro`` console script."""
     parser = argparse.ArgumentParser(
@@ -233,6 +286,40 @@ def main(argv: list[str] | None = None) -> None:
     rc.add_argument("--seed", type=int, default=42)
     rc.add_argument("--schedules", type=int, default=8,
                     help="perturbed schedules to run (default: 8)")
+    lt = sub.add_parser(
+        "loadtest",
+        help="ramp client concurrency to saturation; report the knee")
+    lt.add_argument("--servers", type=int, default=4,
+                    help="cell size (default: 4)")
+    lt.add_argument("--steps", default=None,
+                    help="comma-separated concurrency ramp "
+                         "(default: 1,2,4,8,16)")
+    lt.add_argument("--duration-ms", type=float, default=1500.0,
+                    help="virtual duration per step (default: 1500)")
+    lt.add_argument("--seed", type=int, default=42)
+    lt.add_argument("--write-fraction", type=float, default=0.3,
+                    help="fraction of ops that are writes (default: 0.3)")
+    lt.add_argument("--slo-p99-ms", type=float, default=None,
+                    help="per-op p99 SLO to check each step against")
+    lt.add_argument("--gate-rate", type=float, default=None, metavar="OPS_MS",
+                    help="arm per-server admission at this ops/ms rate")
+    lt.add_argument("--gate-burst", type=float, default=32.0,
+                    help="admission token-bucket burst (default: 32)")
+    tr = sub.add_parser(
+        "trace",
+        help="run a traced workload; print the slowest request waterfalls")
+    tr.add_argument("--workload", default="hotspot",
+                    choices=["hotspot", "baseline", "streaming"],
+                    help="named workload mix (default: hotspot)")
+    tr.add_argument("--servers", type=int, default=4,
+                    help="cell size (default: 4)")
+    tr.add_argument("--agents", type=int, default=4,
+                    help="client agents (default: 4)")
+    tr.add_argument("--duration-ms", type=float, default=1_000.0,
+                    help="virtual workload duration (default: 1000)")
+    tr.add_argument("--seed", type=int, default=42)
+    tr.add_argument("--slowest", type=int, default=5,
+                    help="traces to render (default: 5)")
     args = parser.parse_args(argv)
     if args.command == "detlint":
         from repro.analysis import detlint
@@ -264,6 +351,20 @@ def main(argv: list[str] | None = None) -> None:
                            schedules=args.schedules)
         print(format_races(report))
         raise SystemExit(0 if report["clean"] else 1)
+    if args.command == "loadtest":
+        steps = (tuple(int(s) for s in args.steps.split(","))
+                 if args.steps else None)
+        loadtest_cmd(n_servers=args.servers, steps=steps,
+                     duration_ms=args.duration_ms, seed=args.seed,
+                     write_fraction=args.write_fraction,
+                     slo_p99_ms=args.slo_p99_ms, gate_rate=args.gate_rate,
+                     gate_burst=args.gate_burst)
+        return
+    if args.command == "trace":
+        trace_cmd(workload=args.workload, n_servers=args.servers,
+                  n_agents=args.agents, duration_ms=args.duration_ms,
+                  seed=args.seed, slowest=args.slowest)
+        return
     if args.command == "restart-bench":
         restart_bench(backend=args.backend, segments=args.segments,
                       storage_dir=args.storage_dir)

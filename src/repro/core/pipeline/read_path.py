@@ -227,6 +227,11 @@ class ReadService:
         t0 = self.kernel.now
         await self.store.touch_read(replica)
         self.metrics.latency("pipeline.read_ms").record(self.kernel.now - t0)
+        tracer = self.kernel._tracer
+        if tracer is not None:
+            tid = self.kernel.current_trace()
+            if tid is not None:
+                tracer.record(tid, t0, self.kernel.now, "pipeline", "read")
         return self.local_result(replica, offset, count)
 
     async def read_remote(self, server: str, sid: str, major: int,

@@ -232,6 +232,11 @@ class UpdatePipeline:
             if cat.params.stability_notification:
                 self.hooks.schedule_stable(sid, major)
             self.metrics.latency("pipeline.write_ms").record(self.kernel.now - t0)
+            tracer = self.kernel._tracer
+            if tracer is not None:
+                tid = self.kernel.current_trace()
+                if tid is not None:
+                    tracer.record(tid, t0, self.kernel.now, "pipeline", "write")
             return new_version
         finally:
             lock.release()

@@ -137,6 +137,9 @@ class NfsStat:
     ERR_PERM = 1
     ERR_NOENT = 2
     ERR_IO = 5
+    #: EBUSY — the admission gate refused the request at the envelope
+    #: (repro.obs.admission); agents retry with deterministic backoff
+    ERR_BUSY = 16
     ERR_EXIST = 17
     ERR_NOTDIR = 20
     ERR_ISDIR = 21

@@ -43,6 +43,10 @@ class FailureDetector:
         self.timeout_ms = timeout_ms
         self.last_heard: dict[str, float] = {}
         self.suspected: set[str] = set()
+        #: virtual time the current suspicion of each peer began — the
+        #: "down since" figure the health RPC reports for dead machines;
+        #: cleared when the peer is heard from again
+        self.suspected_since: dict[str, float] = {}
         self.peer_epochs: dict[str, int] = {}
         self._on_suspect: list[Callable[[str], None]] = []
         self._on_alive: list[Callable[[str], None]] = []
@@ -101,6 +105,9 @@ class FailureDetector:
             silent = now - self.last_heard.get(peer, 0.0)
             if silent > self.timeout_ms and peer not in self.suspected:
                 self.suspected.add(peer)
+                # the peer went silent at last_heard; the suspicion *began*
+                # now, when the timeout elapsed — health reports this time
+                self.suspected_since[peer] = now
                 self.node.network.metrics.incr("fd.suspicions")
                 for fn in self._on_suspect:
                     fn(peer)
@@ -122,6 +129,7 @@ class FailureDetector:
             self.peer_epochs[src] = payload.get("epoch", 0)
         if src in self.suspected:
             self.suspected.discard(src)
+            self.suspected_since.pop(src, None)
             self.node.network.metrics.incr("fd.rejoins")
             for fn in self._on_alive:
                 fn(src)

@@ -78,17 +78,39 @@ class LatencyStats:
     def absorb(self, other: "LatencyStats", sample_cap: int | None = None) -> None:
         """Fold another series in: count/total/min/max exactly; samples
         (and therefore percentiles) capped at ``sample_cap`` (at most the
-        reservoir cap) to bound the memory of process-lifetime aggregates."""
+        reservoir cap) to bound the memory of process-lifetime aggregates.
+
+        The merged reservoir is a *weighted* draw: each side contributes
+        samples in proportion to the population (``count``) its reservoir
+        represents, and the contribution is a uniform subsample of that
+        reservoir — never its first-k prefix.  (The old prefix-copy
+        stopped admitting anything once the cap was hit, so an aggregate
+        over many instances reported percentiles of whichever happened to
+        be absorbed first.)  Draws use the instance's seeded RNG, so
+        merges stay deterministic.
+        """
+        mine_count = self.count  # population weights, pre-merge
         self.count += other.count
         self.total += other.total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
+        if not other.samples:
+            return
         cap = self.RESERVOIR_CAP if sample_cap is None else min(
             sample_cap, self.RESERVOIR_CAP)
-        room = max(0, cap - len(self.samples))
-        if room:
-            self.samples.extend(other.samples[:room])
-            self._sorted = None
+        mine, theirs = self.samples, other.samples
+        want = min(cap, len(mine) + len(theirs))
+        weight = mine_count / (mine_count + other.count)
+        take_mine = min(len(mine), round(want * weight))
+        take_theirs = min(len(theirs), want - take_mine)
+        take_mine = min(len(mine), want - take_theirs)  # rebalance remainder
+        rng = self._rng
+        keep_mine = (mine if take_mine == len(mine)
+                     else rng.sample(mine, take_mine))
+        keep_theirs = (list(theirs) if take_theirs == len(theirs)
+                       else rng.sample(theirs, take_theirs))
+        self.samples = keep_mine + keep_theirs
+        self._sorted = None
 
 
 class Metrics:

@@ -35,7 +35,7 @@ class Message:
     """
 
     __slots__ = ("src", "dst", "kind", "payload", "size_bytes", "tag",
-                 "msg_id", "_psize")
+                 "msg_id", "_psize", "trace")
 
     def __init__(self, src: str, dst: str, kind: MsgKind, payload: Any,
                  size_bytes: int = 256, tag: str = "",
@@ -48,6 +48,9 @@ class Message:
         self.tag = tag
         self.msg_id = next(_msg_ids)
         self._psize = payload_bytes
+        #: request-trace id riding this message (repro.obs.tracer); stamped
+        #: by Node.rpc/send only while a tracer is armed, else always None
+        self.trace = None
 
     def payload_bytes(self) -> int:
         """Estimated wire size of the payload; computed once, then cached."""

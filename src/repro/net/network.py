@@ -170,6 +170,11 @@ class Network:
             counters["net.dropped"] += 1
             return
         delay = self.latency.delay(msg.src, msg.dst, msg.size_bytes, self.rng)
+        tracer = self.kernel._tracer
+        if tracer is not None and msg.trace is not None:
+            now = self.kernel.now
+            tracer.record(msg.trace, now, now + delay, "net",
+                          msg.tag or msg.kind.value)
         self.kernel.post(delay, self._arrive, msg)
 
     def multicast(self, src: str, dsts: list[str], payload: Any,
@@ -310,10 +315,12 @@ class Node:
         """
         if not self.alive:
             return
-        self.network.transmit(
-            Message(self.addr, dst, MsgKind.DATAGRAM, payload, size_bytes,
-                    tag, payload_bytes=payload_bytes)
-        )
+        msg = Message(self.addr, dst, MsgKind.DATAGRAM, payload, size_bytes,
+                      tag, payload_bytes=payload_bytes)
+        kernel = self.kernel
+        if kernel._tracer is not None and kernel._current is not None:
+            msg.trace = kernel._current.trace
+        self.network.transmit(msg)
 
     def multicast(self, dsts: list[str], payload: Any, size_bytes: int = 256,
                   tag: str = "") -> None:
@@ -353,9 +360,12 @@ class Node:
         req_id = next(self._rpc_seq)
         self._pending_rpcs[req_id] = out
         payload = {"req_id": req_id, "method": method, "args": args or {}}
-        self.network.transmit(
-            Message(self.addr, dst, MsgKind.RPC_REQUEST, payload, size_bytes, tag or method)
-        )
+        msg = Message(self.addr, dst, MsgKind.RPC_REQUEST, payload,
+                      size_bytes, tag or method)
+        kernel = self.kernel
+        if kernel._tracer is not None and kernel._current is not None:
+            msg.trace = kernel._current.trace
+        self.network.transmit(msg)
 
         def _expire() -> None:
             if self._pending_rpcs.pop(req_id, None) is not None:
@@ -390,6 +400,15 @@ class Node:
 
     async def _serve_rpc(self, msg: Message) -> None:
         payload = msg.payload
+        kernel = self.kernel
+        tracer = kernel._tracer
+        if tracer is not None:
+            # adopt the caller's trace onto the serving task (we are inside
+            # its first step), so pipeline/disk work done on behalf of this
+            # request — including spawned children — stays attributed
+            served_since = kernel.now
+            if msg.trace is not None and kernel._current is not None:
+                kernel._current.trace = msg.trace
         handler = self._handlers.get(payload["method"])
         reply: dict[str, Any]
         if handler is None:
@@ -414,11 +433,14 @@ class Node:
         # bulk reads looked free and striping could not be measured
         # honestly.  Sized once here; transmit reuses the cached figure.
         psize = payload_size(reply)
-        self.network.transmit(
-            Message(self.addr, msg.src, MsgKind.RPC_REPLY, reply,
-                    max(256, psize), tag=payload["method"] + ".reply",
-                    payload_bytes=psize)
-        )
+        reply_msg = Message(self.addr, msg.src, MsgKind.RPC_REPLY, reply,
+                            max(256, psize), tag=payload["method"] + ".reply",
+                            payload_bytes=psize)
+        if tracer is not None and msg.trace is not None:
+            tracer.record(msg.trace, served_since, kernel.now, "rpc",
+                          payload["method"])
+            reply_msg.trace = msg.trace
+        self.network.transmit(reply_msg)
 
     def _accept_reply(self, msg: Message) -> None:
         fut = self._pending_rpcs.pop(msg.payload["req_id"], None)

@@ -34,6 +34,17 @@ from repro.storage import Disk, KvStore, StorageBackend
 
 NFS_PROXY_TIMEOUT_MS = 2000.0
 
+#: Ops the admission gate charges a token for: the ones that enter the
+#: segment pipeline (disk, replication, version machinery).  Namespace
+#: reads answered from memory (lookup/getattr/readdir/statfs/readlink)
+#: ride free — a user-level operation fans out into several of those
+#: around exactly one data op, so one token ≈ one user operation, and a
+#: BUSY mid-fan-out never strands tokens already spent on the prefix.
+GATED_NFS_OPS = frozenset({
+    "read", "write", "create", "mkdir", "symlink", "remove", "rmdir",
+    "rename", "link", "setattr",
+})
+
 
 class DeceitServer:
     """A complete Deceit server machine."""
@@ -58,9 +69,13 @@ class DeceitServer:
             placement_config=placement_config,
             merge_audit_interval_ms=merge_audit_interval_ms)
         self.envelope = Envelope(self.segments)
+        #: admission gate (repro.obs.admission); None = every request is
+        #: admitted and the envelope pays one `is None` test
+        self.admission = None
         self.proc.register_handler("nfs", self._h_nfs)
         self.proc.register_handler("nfs_root", self._h_root)
         self.proc.register_handler("deceit_cmd", self._h_cmd)
+        self.proc.register_handler("health", self._h_health)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -153,9 +168,27 @@ class DeceitServer:
             return {"status": NfsStat.ERR_IO, "error": "cell not bootstrapped"}
         return {"status": 0, "fh": self.envelope.root_fh.encode()}
 
+    def set_admission(self, gate) -> None:
+        """Install (or remove, with ``None``) an admission gate on the
+        NFS entry point (wired by ``build_cluster(admission=...)``)."""
+        self.admission = gate
+
+    async def _h_health(self, src: str) -> dict:
+        """The operator health scrape (see :mod:`repro.obs.health`)."""
+        from repro.obs.health import server_health
+        self.metrics.incr("nfs.health_scrapes")
+        return server_health(self)
+
     async def _h_nfs(self, src: str, op: str, args: dict[str, Any]) -> dict:
         """The NFS protocol entry point; one handler, op-dispatched."""
         self.metrics.incr("nfs.requests")
+        gate = self.admission
+        if gate is not None and op in GATED_NFS_OPS and not gate.try_admit():
+            # answered *before* any pipeline work: overload costs the
+            # cell one envelope round, not a queue slot
+            self.metrics.incr("nfs.busy_rejected")
+            return {"status": NfsStat.ERR_BUSY,
+                    "error": "admission control: server at capacity"}
         try:
             fh = FileHandle.decode(args["fh"]) if "fh" in args else None
             if fh is not None and fh.foreign and fh.home != self.addr:

@@ -1,0 +1,80 @@
+"""Admission control: a virtual-time token bucket at the NFS envelope.
+
+Without a gate, overload in a closed-loop system shows up as unbounded
+queueing — every request is eventually served, but p99 collapses.  The
+gate trades a little goodput for bounded latency: requests beyond the
+configured rate are answered ``NfsStat.ERR_BUSY`` *immediately* at the
+envelope (``DeceitServer._h_nfs``), before any pipeline work, and the
+agent retries with deterministic exponential backoff — which paces the
+offered load down to roughly the admitted rate.
+
+The bucket refills lazily from the kernel's virtual clock, so it costs
+no timer events; when no gate is installed the envelope pays one
+``is None`` test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Per-server token bucket parameters.
+
+    ``rate_per_ms`` is the sustained admitted request rate in requests
+    per virtual millisecond; ``burst`` is the bucket depth — how far the
+    instantaneous rate may exceed the sustained rate before BUSY.
+    """
+
+    rate_per_ms: float
+    burst: float = 32.0
+
+
+class AdmissionGate:
+    """One server's token bucket, refilled from virtual time."""
+
+    __slots__ = ("kernel", "config", "metrics", "tokens", "_last",
+                 "admitted", "rejected")
+
+    def __init__(self, kernel: Any, config: AdmissionConfig,
+                 metrics: Any = None):
+        self.kernel = kernel
+        self.config = config
+        self.metrics = metrics
+        self.tokens = config.burst
+        self._last = kernel.now
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_admit(self) -> bool:
+        """Spend one token if available; ``False`` means answer BUSY."""
+        now = self.kernel.now
+        cfg = self.config
+        tokens = self.tokens + (now - self._last) * cfg.rate_per_ms
+        if tokens > cfg.burst:
+            tokens = cfg.burst
+        self._last = now
+        if tokens >= 1.0:
+            self.tokens = tokens - 1.0
+            self.admitted += 1
+            return True
+        self.tokens = tokens
+        self.rejected += 1
+        return False
+
+    def snapshot(self) -> dict:
+        """Read-only view for the ``health`` RPC (no token spend: the
+        refill is *peeked*, not stored, so scraping a server's health
+        never perturbs its admission decisions)."""
+        cfg = self.config
+        peek = min(cfg.burst,
+                   self.tokens + (self.kernel.now - self._last) * cfg.rate_per_ms)
+        return {
+            "rate_per_ms": cfg.rate_per_ms,
+            "burst": cfg.burst,
+            "tokens": round(peek, 3),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }

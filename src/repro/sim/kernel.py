@@ -177,7 +177,7 @@ class Task(SimFuture):
     ``await kernel.spawn(other())``.
     """
 
-    __slots__ = ("_coro", "_cancelled", "_started", "name")
+    __slots__ = ("_coro", "_cancelled", "_started", "name", "trace")
 
     def __init__(self, kernel: "Kernel", coro: Coroutine, name: str = ""):
         super().__init__(kernel)
@@ -185,6 +185,9 @@ class Task(SimFuture):
         self._cancelled = False
         self._started = False
         self.name = name or getattr(coro, "__name__", "task")
+        #: request-trace id this task runs on behalf of (repro.obs.tracer);
+        #: inherited by spawned children while a tracer is armed
+        self.trace: Any = None
         _adopt(coro)
 
     def cancel(self) -> bool:
@@ -222,9 +225,15 @@ class Task(SimFuture):
         # yield sanitizer (repro.analysis.ysan): attribute shared-state
         # accesses made during this step to this task.  Off by default;
         # the fast path pays one attribute load and `is None` test.
-        ysan = self.kernel._ysan
+        kernel = self.kernel
+        ysan = kernel._ysan
         if ysan is not None:
             ysan.begin_step(self)
+        # request tracer (repro.obs.tracer): expose the running task so
+        # trace ids propagate to spawned children and recorded spans.
+        # Same off-by-default cost: one attribute load and `is None` test.
+        if kernel._tracer is not None:
+            kernel._current = self
         try:
             try:
                 if self._cancelled:
@@ -249,6 +258,8 @@ class Task(SimFuture):
                 return
             awaited.add_done_callback(self._resume_from)
         finally:
+            if kernel._tracer is not None:
+                kernel._current = None
             if ysan is not None:
                 ysan.end_step()
 
@@ -342,6 +353,12 @@ class Kernel:
         self._ysan: Any = None
         #: schedule-perturbation RNG (repro racecheck); None = off
         self._perturb: Any = None
+        #: request tracer (repro.obs.tracer); None = off, and every hook —
+        #: task steps, spawn, message send — pays one `is None` test
+        self._tracer: Any = None
+        #: the task currently being stepped; maintained only while a
+        #: tracer is armed (the only consumer of task identity mid-step)
+        self._current: Task | None = None
 
     def set_witness(self, witness: Any) -> None:
         """Attach (or detach, with ``None``) a per-event witness recorder.
@@ -370,6 +387,27 @@ class Kernel:
         self._ysan = sanitizer
         if sanitizer is not None:
             sanitizer.attach(self)
+
+    def set_tracer(self, tracer: Any) -> None:
+        """Attach (or detach, with ``None``) a request-span tracer.
+
+        While armed, the kernel tracks the currently-stepping task so
+        trace ids flow from parent to spawned child and hooks across the
+        stack (network, pipeline, disk) can attribute their spans via
+        :meth:`current_trace`.  Off by default — the hooks cost one
+        attribute load and ``is None`` test each, the witness-chain
+        discipline.  Arming or disarming never changes event order, so
+        same-seed runs stay byte-identical either way.
+        """
+        self._tracer = tracer
+        if tracer is None:
+            self._current = None
+
+    def current_trace(self) -> Any:
+        """Trace id of the task being stepped right now (``None`` from
+        plain callbacks or when no tracer is armed)."""
+        task = self._current
+        return None if task is None else task.trace
 
     def set_perturbation(self, rng: Any) -> None:
         """Arm (or disarm, with ``None``) seeded schedule perturbation.
@@ -474,6 +512,8 @@ class Kernel:
     def spawn(self, coro: Coroutine, name: str = "") -> Task:
         """Start driving a coroutine; returns an awaitable :class:`Task`."""
         task = Task(self, coro, name=name)
+        if self._tracer is not None and self._current is not None:
+            task.trace = self._current.trace
         self._schedule_now(task._step, None)
         return task
 

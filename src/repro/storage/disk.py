@@ -160,6 +160,20 @@ class Disk:
 
     def _enqueue_sync(self, records: list[tuple[str, Any, int]]) -> SimFuture:
         done = self.kernel.create_future()
+        tracer = self.kernel._tracer
+        if tracer is not None:
+            tid = self.kernel.current_trace()
+            if tid is not None:
+                # span closes when the commit resolves the future — i.e. at
+                # platter time, covering the group-commit window this batch
+                # waited in, not just the enqueue
+                kernel = self.kernel
+                t0 = kernel.now
+
+                def _commit_span(_fut, _tid=tid, _t0=t0):
+                    tracer.record(_tid, _t0, kernel.now, "disk", "commit")
+
+                done.add_done_callback(_commit_span)
         if self.group_commit:
             self._pending.append((records, done))
             if self._commit_handle is None:

@@ -134,6 +134,8 @@ class Cluster:
     killed: bool = False
     det_guard: object | None = None
     ysan: object | None = None
+    tracer: object | None = None
+    sampler: object | None = None
 
     def run(self, awaitable, limit: float = 600_000.0):
         """Drive the simulation until ``awaitable`` resolves."""
@@ -167,6 +169,17 @@ class Cluster:
         for agent in self.agents:
             if agent.config.write_behind:
                 await agent.flush()
+
+    def scrape_health(self, timeout_ms: float = 200.0) -> list[dict]:
+        """Scrape every server's ``health`` RPC (see
+        :mod:`repro.obs.health`); advances virtual time to do it.  Dead
+        servers come back as ``ERR_UNREACHABLE`` rows, surviving peers'
+        rows carry their last-known suspicion state.  From inside an
+        async workload, ``await scrape_cell(cluster)`` directly instead.
+        """
+        from repro.obs.health import scrape_cell
+        return self.kernel.run_until_complete(
+            scrape_cell(self, timeout_ms=timeout_ms), limit=600_000.0)
 
     def close(self) -> None:
         """End the simulation: drop queued events, close un-run tasks."""
@@ -243,6 +256,18 @@ class Cluster:
         if self.det_guard is not None:
             # the guard survives the incarnation; arm it on the new kernel
             self.kernel.set_det_guard(self.det_guard)
+        if self.tracer is not None:
+            # spans keep accumulating across incarnations (trace ids are
+            # cell-lifetime unique; the new kernel's clock restarts at 0)
+            self.kernel.set_tracer(self.tracer)
+        if self.sampler is not None:
+            self.sampler.attach(self.kernel)
+        if a.get("admission") is not None:
+            from repro.obs.admission import AdmissionGate
+            for server in self.servers:
+                server.set_admission(AdmissionGate(self.kernel,
+                                                   a["admission"],
+                                                   self.metrics))
         if reconcile:
             self.reconcile(settle_ms=settle_ms)
         return self
@@ -283,6 +308,9 @@ def build_cluster(
     det_guard: bool = False,
     ysan: bool = False,
     perturb_seed: int | None = None,
+    tracing: bool = False,
+    sampler_period_ms: float | None = None,
+    admission=None,
 ) -> Cluster:
     """Stand up a full Deceit cell with a bootstrapped namespace.
 
@@ -317,6 +345,17 @@ def build_cluster(
     dedicated RNG shuffles same-timestamp zero-delay tie-breaking, so the
     run explores a different but reproducible interleaving.  Both are off
     by default and cost nothing when off.
+
+    The observability plane (:mod:`repro.obs`) arms the same way:
+    ``tracing=True`` attaches a request :class:`~repro.obs.tracer.Tracer`
+    on ``cluster.tracer`` (spans recorded per NFS op across agent / rpc /
+    pipeline / disk / net); ``sampler_period_ms`` attaches a
+    :class:`~repro.obs.sampler.MetricsSampler` on ``cluster.sampler``
+    snapshotting the counters every that-many virtual ms; ``admission``
+    (an :class:`~repro.obs.admission.AdmissionConfig`) installs a
+    per-server token-bucket gate at the NFS envelope.  All three survive
+    :meth:`Cluster.restart` and are off by default at one ``is None``
+    test per hook.
     """
     kernel = Kernel()
     if perturb_seed is not None:
@@ -351,6 +390,19 @@ def build_cluster(
         net_config=net_config, fd_interval_ms=fd_interval_ms,
         merge_audit_interval_ms=merge_audit_interval_ms,
         scatter_agents=scatter_agents)
+    cluster.build_args["admission"] = admission
+    if tracing:
+        from repro.obs.tracer import Tracer
+        cluster.tracer = Tracer()
+        kernel.set_tracer(cluster.tracer)
+    if sampler_period_ms is not None:
+        from repro.obs.sampler import MetricsSampler
+        cluster.sampler = MetricsSampler(metrics, period_ms=sampler_period_ms)
+        cluster.sampler.attach(kernel)
+    if admission is not None:
+        from repro.obs.admission import AdmissionGate
+        for server in cluster.servers:
+            server.set_admission(AdmissionGate(kernel, admission, metrics))
     if det_guard:
         from repro.analysis import guard as _guard
         cluster.det_guard = _guard.acquire()
@@ -375,6 +427,9 @@ def build_scale_cluster(
     merge_audit_interval_ms: float | None = None,
     ysan: bool = False,
     perturb_seed: int | None = None,
+    tracing: bool = False,
+    sampler_period_ms: float | None = None,
+    admission=None,
 ) -> Cluster:
     """A large-cell profile of :func:`build_cluster` for O(100)-server runs.
 
@@ -406,7 +461,9 @@ def build_scale_cluster(
         agent_config=agent_config, latency=latency, net_config=net_config,
         fd_interval_ms=fd_interval_ms, fd_timeout_ms=4 * fd_interval_ms,
         merge_audit_interval_ms=merge_audit_interval_ms,
-        scatter_agents=True, ysan=ysan, perturb_seed=perturb_seed)
+        scatter_agents=True, ysan=ysan, perturb_seed=perturb_seed,
+        tracing=tracing, sampler_period_ms=sampler_period_ms,
+        admission=admission)
 
 
 def _build_cell(kernel, network, metrics, n_servers, n_agents,
